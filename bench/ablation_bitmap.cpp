@@ -1,0 +1,186 @@
+// Ablation study of the bitmap conflict-detection design choices the paper
+// fixes by fiat (§V, §VI-B), quantifying each tradeoff:
+//
+//   A. Bitmap size m: small m = false-positive serialization (overhead vs
+//      concurrency tradeoff part 2); large m = longer dense scans.
+//      Throughput via the measured-cost execution simulator + the analytic
+//      false-positive rate.
+//   B. Number of hash functions k: the paper restricts k = 1 because
+//      intersection-based detection only degrades with more hashes —
+//      measured as pairwise conflict rate at k = 1, 2, 4.
+//   C. Unified vs split read/write bitmaps (extension): read-heavy
+//      workloads falsely serialize under the paper's unified digest; the
+//      split digest removes exactly those false positives.
+//   D. Dense word-AND scan (the paper's implementation) vs sparse
+//      position-probing (our extension): identical answers, different cost.
+//
+// Env: PSMR_CMDS as in fig4.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/analytic.hpp"
+#include "sim/conflict_sim.hpp"
+#include "sim/exec_sim.hpp"
+#include "smr/batch.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+using psmr::stats::Table;
+
+namespace {
+
+void part_a_bitmap_size(std::uint64_t commands) {
+  std::printf("A. Bitmap size sweep (batch size 200, 8 virtual workers)\n\n");
+  Table table({"Bitmap bits", "Throughput (kCmds/s)", "Analytic FP rate (G=7)",
+               "Detected-conflict fraction", "Avg graph size"});
+  for (std::size_t bits : {1024u, 10240u, 102400u, 1024000u, 4096000u}) {
+    psmr::sim::ExecSimConfig cfg;
+    cfg.workers = 8;
+    cfg.mode = psmr::core::ConflictMode::kBitmap;
+    cfg.batch_size = 200;
+    cfg.use_bitmap = true;
+    cfg.bitmap_bits = bits;
+    cfg.proxies = 8;
+    cfg.commands_target = commands;
+    const auto r = psmr::sim::run_exec_sim(cfg);
+    table.add_row({Table::fmt_int(bits), Table::fmt(r.kcmds_per_sec, 1),
+                   Table::fmt(psmr::sim::conflict_rate(bits, 200, 7) * 100, 2) + "%",
+                   Table::fmt(r.detected_conflict_fraction() * 100, 1) + "%",
+                   Table::fmt(r.avg_graph_size, 2)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void part_b_hash_count() {
+  std::printf("B. Hash-function count k (102400-bit bitmaps, 100-key batches,\n"
+              "   pairwise conflict rate between independent batches)\n\n");
+  Table table({"k (hash functions)", "Simulated pairwise FP rate"});
+  for (unsigned k : {1u, 2u, 4u}) {
+    psmr::sim::ConflictSimConfig cfg;
+    cfg.bitmap_bits = 102400;
+    cfg.batch_size = 100;
+    cfg.graph_size = 1;
+    cfg.iterations = 50'000;
+    cfg.hashes = k;
+    const auto r = psmr::sim::run_conflict_sim(cfg);
+    table.add_row({Table::fmt_int(k), Table::fmt(r.pairwise_rate() * 100, 2) + "%"});
+  }
+  table.print();
+  std::printf("   (k = 1 is optimal for intersection-based detection — §VI-B)\n\n");
+}
+
+void part_c_split_rw() {
+  std::printf("C. Unified vs split read/write digests on read-heavy overlap\n\n");
+  // Batches share READ keys only; exact detection says independent.
+  psmr::util::Xoshiro256 rng(7);
+  const int kTrials = 2000;
+  int unified_fp = 0, split_fp = 0, exact_conflicts = 0;
+  psmr::smr::BitmapConfig unified_cfg;
+  unified_cfg.bits = 102400;
+  psmr::smr::BitmapConfig split_cfg = unified_cfg;
+  split_cfg.split_read_write = true;
+  std::uint64_t write_key = 1ull << 40;
+  for (int t = 0; t < kTrials; ++t) {
+    auto make = [&](const psmr::smr::BitmapConfig& cfg, std::uint64_t wkey) {
+      std::vector<psmr::smr::Command> cmds;
+      for (int i = 0; i < 20; ++i) {
+        psmr::smr::Command c;
+        c.type = psmr::smr::OpType::kRead;
+        c.key = rng.next_below(40);  // dense read overlap across batches
+        cmds.push_back(c);
+      }
+      // One write to a batch-private key keeps the batch non-trivial
+      // without creating real conflicts.
+      psmr::smr::Command w;
+      w.type = psmr::smr::OpType::kUpdate;
+      w.key = wkey;
+      cmds.push_back(w);
+      psmr::smr::Batch b(std::move(cmds));
+      b.build_bitmap(cfg);
+      return b;
+    };
+    const std::uint64_t wk1 = ++write_key, wk2 = ++write_key;
+    const auto save = rng;  // same keys for both encodings
+    psmr::smr::Batch u1 = make(unified_cfg, wk1);
+    psmr::smr::Batch u2 = make(unified_cfg, wk2);
+    rng = save;
+    psmr::smr::Batch s1 = make(split_cfg, wk1);
+    psmr::smr::Batch s2 = make(split_cfg, wk2);
+    const bool exact = psmr::smr::key_conflict_nested(u1, u2);
+    exact_conflicts += exact ? 1 : 0;
+    if (!exact) {
+      unified_fp += psmr::smr::bitmap_conflict(u1, u2) ? 1 : 0;
+      split_fp += psmr::smr::bitmap_conflict(s1, s2) ? 1 : 0;
+    }
+  }
+  Table table({"Scheme", "False-positive rate (read-overlap workload)"});
+  table.add_row({"unified digest (paper)",
+                 Table::fmt(100.0 * unified_fp / kTrials, 1) + "%"});
+  table.add_row({"split read/write digests (extension)",
+                 Table::fmt(100.0 * split_fp / kTrials, 1) + "%"});
+  table.print();
+  std::printf("   (exact conflicts in workload: %.1f%% of pairs)\n\n",
+              100.0 * exact_conflicts / kTrials);
+
+  // Throughput consequence: a coordination-style workload where every batch
+  // reads 4 global hot keys.
+  Table tput({"Scheme", "Throughput (kCmds/s), read-hot workload"});
+  for (bool split : {false, true}) {
+    psmr::sim::ExecSimConfig cfg;
+    cfg.workers = 8;
+    cfg.mode = psmr::core::ConflictMode::kBitmap;
+    cfg.batch_size = 100;
+    cfg.use_bitmap = true;
+    cfg.bitmap_bits = 1024000;
+    cfg.split_read_write = split;
+    cfg.hot_read_keys = 4;
+    cfg.proxies = 8;
+    cfg.commands_target = 60'000;
+    const auto r = psmr::sim::run_exec_sim(cfg);
+    tput.add_row({split ? "split read/write digests (extension)"
+                        : "unified digest (paper)",
+                  Table::fmt(r.kcmds_per_sec, 1)});
+  }
+  tput.print();
+  std::printf("   (unified digests serialize ALL batches of this workload)\n\n");
+}
+
+void part_d_dense_vs_sparse(std::uint64_t commands) {
+  std::printf("D. Dense word-AND scan (paper) vs sparse position probing (ours)\n\n");
+  Table table({"Implementation", "Throughput (kCmds/s)", "Monitor utilization"});
+  for (auto mode : {psmr::core::ConflictMode::kBitmap,
+                    psmr::core::ConflictMode::kBitmapSparse}) {
+    psmr::sim::ExecSimConfig cfg;
+    cfg.workers = 16;
+    cfg.mode = mode;
+    cfg.batch_size = 200;
+    cfg.use_bitmap = true;
+    cfg.bitmap_bits = 1024000;
+    cfg.proxies = 16;  // enough load to expose the monitor
+    cfg.commands_target = commands;
+    cfg.bitmap_word_cost_ns = 0;  // compare raw measured implementations
+    const auto r = psmr::sim::run_exec_sim(cfg);
+    table.add_row({psmr::core::to_string(mode), Table::fmt(r.kcmds_per_sec, 1),
+                   Table::fmt(r.monitor_utilization * 100, 0) + "%"});
+  }
+  table.print();
+  std::printf("   (same conflict answers; probing does O(batch) work instead of\n"
+              "    O(m/64) per pair, so the monitor stops being the bottleneck)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::uint64_t commands = 100'000;
+  if (const char* s = std::getenv("PSMR_CMDS")) commands = std::strtoull(s, nullptr, 10);
+  std::printf("Bitmap design ablations\n=======================\n\n");
+  part_a_bitmap_size(commands);
+  part_b_hash_count();
+  part_c_split_rw();
+  part_d_dense_vs_sparse(commands);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Key-skew experiment (extension beyond the paper, which evaluates
+// contention-free and fixed-rate-conflict workloads): Zipf-distributed keys
+// create REAL dependencies concentrated on hot keys. Measures how the
+// bitmap scheduler's throughput and the dependency-graph shape respond as
+// skew grows from uniform (theta=0, ~no conflicts at 10^9 keys) to heavily
+// skewed (theta=1.2, a handful of keys dominate).
+//
+// Expected shape: throughput degrades with skew as hot-key batches chain in
+// the graph; the detected-conflict fraction tracks the skew; past theta≈0.9
+// a 100-command batch almost surely touches the #1 hot key, so EVERY batch
+// chains and both modes hit their serial floor — where the bitmap scheduler
+// still wins because its serial per-batch detection is cheaper (false
+// positives are irrelevant once everything truly conflicts).
+//
+// Env: PSMR_CMDS as in fig4.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/exec_sim.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using psmr::core::ConflictMode;
+  using psmr::sim::ExecSimConfig;
+  using psmr::stats::Table;
+
+  std::uint64_t commands = 100'000;
+  if (const char* s = std::getenv("PSMR_CMDS")) commands = std::strtoull(s, nullptr, 10);
+
+  std::printf("Key-skew (Zipf) impact, batch size 100, 8 workers, 10^6-key space\n\n");
+
+  Table table({"Zipf theta", "Mode", "Throughput (kCmds/s)",
+               "Detected-conflict fraction", "Avg graph size"});
+
+  for (double theta : {0.0, 0.6, 0.9, 0.99, 1.2}) {
+    for (ConflictMode mode : {ConflictMode::kKeysNested, ConflictMode::kBitmap}) {
+      ExecSimConfig cfg;
+      cfg.mode = mode;
+      cfg.use_bitmap = mode == ConflictMode::kBitmap;
+      cfg.workers = 8;
+      cfg.batch_size = 100;
+      cfg.bitmap_bits = 1024000;
+      cfg.proxies = 8;
+      cfg.zipf_theta = theta;
+      cfg.key_space = 1'000'000;
+      cfg.commands_target = commands;
+      const auto r = psmr::sim::run_exec_sim(cfg);
+      table.add_row({Table::fmt(theta, 2), psmr::core::to_string(mode),
+                     Table::fmt(r.kcmds_per_sec, 1),
+                     Table::fmt(r.detected_conflict_fraction() * 100, 1) + "%",
+                     Table::fmt(r.avg_graph_size, 2)});
+    }
+  }
+  table.print();
+  std::printf("\n(theta=0 is uniform over 10^6 keys — light accidental contention;\n"
+              " theta>=0.99 concentrates most traffic on a few keys, chaining\n"
+              " batches regardless of the detection mechanism.)\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Atomic-broadcast substrate comparison: the in-process LocalBroadcast
+// reference vs the full Multi-Paxos stack vs the ring-dissemination variant
+// (§VI context: the paper used Ring Paxos as its transport; our figure
+// benches use the local orderer so the SCHEDULER is what is measured — this
+// bench quantifies what the consensus substrate itself can sustain on this
+// host, wall-clock, single core).
+//
+// Env: PSMR_MSGS=<n> messages per configuration (default 4000).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "consensus/group.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+#include "util/time.hpp"
+
+using namespace std::chrono_literals;
+using psmr::stats::Table;
+
+namespace {
+
+struct RunResult {
+  double kmsgs_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+RunResult run(psmr::consensus::AtomicBroadcast& ab, std::uint64_t messages,
+              std::size_t payload_bytes) {
+  std::atomic<std::uint64_t> delivered{0};
+  // Latency: stamp the send time inside the payload.
+  psmr::stats::Histogram latency;
+  std::mutex lat_mu;
+  ab.subscribe([&](std::uint64_t, psmr::consensus::Value v) {
+    std::uint64_t sent_at = 0;
+    if (v && v->size() >= sizeof(sent_at)) {
+      std::memcpy(&sent_at, v->data(), sizeof(sent_at));
+      std::lock_guard lk(lat_mu);
+      latency.record(psmr::util::now_ns() - sent_at);
+    }
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  ab.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < messages; ++i) {
+    auto payload = std::make_shared<std::vector<std::uint8_t>>(
+        std::max(payload_bytes, sizeof(std::uint64_t)));
+    const std::uint64_t now = psmr::util::now_ns();
+    std::memcpy(payload->data(), &now, sizeof(now));
+    ab.broadcast(std::move(payload));
+    // Light pacing keeps the proposer pipeline inside its window.
+    if (i % 128 == 127) {
+      while (delivered.load(std::memory_order_relaxed) + 512 < i) {
+        std::this_thread::sleep_for(100us);
+      }
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (delivered.load() < messages && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ab.stop();
+
+  RunResult r;
+  r.kmsgs_per_sec = static_cast<double>(delivered.load()) / secs / 1000.0;
+  r.p50_us = static_cast<double>(latency.p50()) / 1000.0;
+  r.p99_us = static_cast<double>(latency.p99()) / 1000.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::uint64_t messages = 4000;
+  if (const char* s = std::getenv("PSMR_MSGS")) messages = std::strtoull(s, nullptr, 10);
+
+  std::printf("Atomic broadcast substrates (%llu messages, 1 learner, wall clock)\n\n",
+              static_cast<unsigned long long>(messages));
+  Table table({"Substrate", "Payload (B)", "Throughput (kMsgs/s)", "p50 lat (us)",
+               "p99 lat (us)"});
+
+  for (std::size_t payload : {64u, 4096u}) {
+    {
+      psmr::consensus::LocalBroadcast lb;
+      const auto r = run(lb, messages, payload);
+      table.add_row({"LocalBroadcast (reference)", Table::fmt_int(payload),
+                     Table::fmt(r.kmsgs_per_sec, 1), Table::fmt(r.p50_us, 1),
+                     Table::fmt(r.p99_us, 1)});
+    }
+    {
+      psmr::consensus::GroupConfig cfg;
+      psmr::consensus::PaxosGroup group(cfg);
+      const auto r = run(group, messages, payload);
+      table.add_row({"Multi-Paxos (3 acceptors, fan-out)", Table::fmt_int(payload),
+                     Table::fmt(r.kmsgs_per_sec, 1), Table::fmt(r.p50_us, 1),
+                     Table::fmt(r.p99_us, 1)});
+    }
+    {
+      psmr::consensus::GroupConfig cfg;
+      cfg.ring = true;
+      psmr::consensus::PaxosGroup group(cfg);
+      const auto r = run(group, messages, payload);
+      table.add_row({"Ring Paxos variant (chained accepts)", Table::fmt_int(payload),
+                     Table::fmt(r.kmsgs_per_sec, 1), Table::fmt(r.p50_us, 1),
+                     Table::fmt(r.p99_us, 1)});
+    }
+  }
+  table.print();
+  std::printf("\nNote: single-core host; all roles timeshare one CPU, so these are\n"
+              "lower bounds on what the protocol code sustains per core.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "consensus/types.hpp"
+
+#include <cstring>
+
+namespace psmr::consensus {
+
+Value wrap_request(std::uint64_t request_id, Value payload) {
+  auto wire = std::make_shared<std::vector<std::uint8_t>>();
+  wire->resize(sizeof(request_id) + (payload ? payload->size() : 0));
+  std::memcpy(wire->data(), &request_id, sizeof(request_id));
+  if (payload && !payload->empty()) {
+    std::memcpy(wire->data() + sizeof(request_id), payload->data(), payload->size());
+  }
+  return wire;
+}
+
+bool unwrap_request(const Value& wire, std::uint64_t& request_id,
+                    std::vector<std::uint8_t>& payload) {
+  if (!wire || wire->size() < sizeof(request_id)) return false;
+  std::memcpy(&request_id, wire->data(), sizeof(request_id));
+  payload.assign(wire->begin() + sizeof(request_id), wire->end());
+  return true;
+}
+
+bool peek_request_id(const Value& wire, std::uint64_t& request_id) {
+  if (!wire || wire->size() < sizeof(request_id)) return false;
+  std::memcpy(&request_id, wire->data(), sizeof(request_id));
+  return true;
+}
+
+}  // namespace psmr::consensus

@@ -1,0 +1,122 @@
+// Message and state types for the consensus substrate.
+//
+// The paper's prototype obtained its total order from Ring Paxos
+// (URingPaxos). We implement Multi-Paxos over the simulated network of
+// src/net, with an optional ring dissemination mode for Phase 2 (a
+// simplified Ring Paxos: Accepts chain through f+1 acceptors instead of
+// fanning out). Values are opaque byte payloads with an 8-byte request-id
+// header used for request dedup across leader failovers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace psmr::consensus {
+
+/// Opaque replicated value (serialized batch). Shared pointer so fan-out
+/// and retransmission never copy the payload.
+using Value = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+using InstanceId = std::uint64_t;
+
+/// Totally ordered ballot: (counter, proposing node) lexicographically.
+struct Ballot {
+  std::uint64_t counter = 0;
+  net::ProcessId node = 0;
+
+  auto operator<=>(const Ballot&) const = default;
+  bool is_zero() const noexcept { return counter == 0 && node == 0; }
+};
+
+/// Client submission. `request_id` must be globally unique; it doubles as
+/// the dedup key across retransmissions and leader changes.
+struct ClientRequest {
+  std::uint64_t request_id = 0;
+  Value value;
+};
+
+/// Phase 1a. Covers every instance >= first_instance (Multi-Paxos: one
+/// prepare establishes leadership for the whole log suffix).
+struct Prepare {
+  Ballot ballot;
+  InstanceId first_instance = 1;
+};
+
+struct PromiseEntry {
+  InstanceId instance = 0;
+  Ballot vballot;
+  Value value;
+};
+
+/// Phase 1b. Reports every accepted entry at or above first_instance.
+struct Promise {
+  Ballot ballot;
+  InstanceId first_instance = 1;
+  std::vector<PromiseEntry> accepted;
+};
+
+/// Phase 2a. In ring mode the Accept chains through acceptors accumulating
+/// `votes`; in fan-out mode votes stays 0 and each acceptor replies
+/// directly to the leader.
+struct Accept {
+  Ballot ballot;
+  InstanceId instance = 0;
+  Value value;
+  std::uint32_t votes = 0;
+  bool ring = false;
+};
+
+/// Phase 2b (fan-out mode) or end-of-chain report (ring mode).
+struct Accepted {
+  Ballot ballot;
+  InstanceId instance = 0;
+  std::uint32_t votes = 1;  // ring mode: accumulated count
+};
+
+/// Rejection carrying the currently promised ballot so the proposer can
+/// catch up.
+struct Nack {
+  Ballot promised;
+  InstanceId instance = 0;
+};
+
+/// Decision broadcast to learners (and proposers, which track the decided
+/// set for dedup and retransmission).
+struct Decide {
+  InstanceId instance = 0;
+  Value value;
+};
+
+/// Learner's retransmission request for a gap starting at from_instance.
+struct LearnRequest {
+  InstanceId from_instance = 1;
+};
+
+/// Leader liveness signal to other proposers.
+struct Heartbeat {
+  Ballot ballot;
+};
+
+using Message = std::variant<ClientRequest, Prepare, Promise, Accept, Accepted, Nack,
+                             Decide, LearnRequest, Heartbeat>;
+
+using PaxosNetwork = net::Network<Message>;
+using PaxosEndpoint = net::Endpoint<Message>;
+
+/// Prefixes the 8-byte request id to a payload (the on-wire value layout).
+Value wrap_request(std::uint64_t request_id, Value payload);
+
+/// Splits an on-wire value back into (request_id, payload view). Returns
+/// false on malformed (too-short) values.
+bool unwrap_request(const Value& wire, std::uint64_t& request_id,
+                    std::vector<std::uint8_t>& payload);
+
+/// Extracts just the request id.
+bool peek_request_id(const Value& wire, std::uint64_t& request_id);
+
+}  // namespace psmr::consensus

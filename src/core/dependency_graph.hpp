@@ -1,0 +1,110 @@
+// The abridged dependency graph (paper §V, §VI-A).
+//
+// Vertices are command batches; there is an edge Bj -> Bi iff Bj was
+// delivered before Bi and the configured conflict detector reports a
+// conflict between them — then Bj must execute before Bi. The structure
+// mirrors the paper's implementation: an ordered node list (delivery order
+// <B), per-node forward dependency set `deps`, a backward-dependency
+// account (here a counter — equivalent to the paper's bDeps set, which only
+// exists "to speed the process of removing edges"), and a taken/notTaken
+// status so a batch under execution stays visible to conflict detection.
+//
+// NOT thread-safe: the scheduler serializes all access through its monitor,
+// exactly as Algorithm 1 prescribes ("inserting, getting the next batch,
+// and removing a batch are performed in mutual exclusion").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/conflict.hpp"
+#include "smr/batch.hpp"
+#include "stats/meter.hpp"
+
+namespace psmr::core {
+
+class DependencyGraph {
+ public:
+  struct Node {
+    smr::BatchPtr batch;
+    /// Forward edges: nodes that depend on this one (the paper's `deps`).
+    std::vector<Node*> deps;
+    /// Number of unresolved backward dependencies (|bDeps| still in the
+    /// graph). 0 means the batch is free to execute.
+    std::size_t pending_bdeps = 0;
+    /// status ∈ {taken, notTaken} (Algorithm 1 line 21 / 36).
+    bool taken = false;
+    /// Delivery sequence — position in <B.
+    std::uint64_t seq = 0;
+    /// Monotonic timestamp of insertion (scheduling-delay accounting).
+    std::uint64_t inserted_at_ns = 0;
+
+   private:
+    friend class DependencyGraph;
+    std::list<Node>::iterator self;
+  };
+
+  explicit DependencyGraph(ConflictMode mode) : detector_(mode) {}
+
+  DependencyGraph(const DependencyGraph&) = delete;
+  DependencyGraph& operator=(const DependencyGraph&) = delete;
+
+  /// dgInsertBatch (lines 17–22): compares the incoming batch against every
+  /// batch currently in the graph (pending AND taken), adding dependency
+  /// edges from each conflicting one. The batch must already carry its
+  /// delivery sequence number, strictly increasing across calls.
+  void insert(smr::BatchPtr batch);
+
+  /// dgGetBatch (lines 32–37): returns the OLDEST free (in-degree 0,
+  /// notTaken) node, marking it taken; nullptr when no batch is free.
+  Node* take_oldest_free();
+
+  /// dgRemoveBatch (lines 38–42): removes a previously taken node, erasing
+  /// its outgoing edges; newly freed successors become available to
+  /// take_oldest_free. Returns how many successors became free (the
+  /// scheduler uses it to decide how many workers to wake).
+  std::size_t remove(Node* node);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  bool empty() const noexcept { return nodes_.empty(); }
+  std::size_t num_free() const noexcept { return ready_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  const ConflictStats& conflict_stats() const noexcept { return detector_.stats(); }
+  ConflictMode mode() const noexcept { return detector_.mode(); }
+
+  /// Average graph size observed at insertion time — the quantity the paper
+  /// reports per configuration (§VII-D) and feeds into Table I.
+  const stats::RunningStat& size_at_insert() const noexcept { return size_at_insert_; }
+
+  std::uint64_t batches_inserted() const noexcept { return inserted_; }
+  std::uint64_t batches_removed() const noexcept { return removed_; }
+
+  /// Bench/test support: removes the most recently inserted batch whatever
+  /// its state (free, blocked by predecessors, or taken), detaching any
+  /// incoming edges. O(graph size). Lets microbenchmarks cycle a probe
+  /// batch through a fixed pending set without executing the pending set.
+  void remove_newest();
+
+  /// Graphviz rendering of the current graph (examples / debugging).
+  std::string to_dot() const;
+
+  /// Test hook: walks the graph verifying acyclicity and that every edge
+  /// points from an older to a newer batch. Aborts on violation.
+  void check_invariants() const;
+
+ private:
+  ConflictDetector detector_;
+  std::list<Node> nodes_;                 // the paper's nodeList, in <B order
+  std::map<std::uint64_t, Node*> ready_;  // free & notTaken, keyed by seq
+  std::size_t num_edges_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t removed_ = 0;
+  stats::RunningStat size_at_insert_;
+};
+
+}  // namespace psmr::core

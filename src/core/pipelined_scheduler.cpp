@@ -1,0 +1,115 @@
+#include "core/pipelined_scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace psmr::core {
+
+PipelinedScheduler::PipelinedScheduler(Config config, Executor executor)
+    : config_(config), executor_(std::move(executor)), graph_(config.mode) {
+  PSMR_CHECK(config_.workers >= 1);
+  PSMR_CHECK(executor_ != nullptr);
+}
+
+PipelinedScheduler::~PipelinedScheduler() { stop(); }
+
+void PipelinedScheduler::start() {
+  PSMR_CHECK(!started_);
+  started_ = true;
+  scheduler_thread_ = std::thread([this] { scheduler_loop(); });
+  workers_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+bool PipelinedScheduler::deliver(smr::BatchPtr batch) {
+  PSMR_CHECK(batch != nullptr);
+  PSMR_CHECK(batch->sequence() != 0);
+  if (config_.max_pending_batches != 0) {
+    std::unique_lock lk(idle_mu_);
+    idle_cv_.wait(lk, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             outstanding_.load(std::memory_order_relaxed) < config_.max_pending_batches;
+    });
+  }
+  if (stopping_.load(std::memory_order_relaxed)) return false;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (!events_.push(Event{Delivery{std::move(batch)}})) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void PipelinedScheduler::wait_idle() {
+  std::unique_lock lk(idle_mu_);
+  idle_cv_.wait(lk, [&] { return outstanding_.load(std::memory_order_relaxed) == 0; });
+}
+
+void PipelinedScheduler::stop() {
+  if (!started_) return;
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    wait_idle();  // drain everything already delivered
+    stopping_.store(true, std::memory_order_relaxed);
+    idle_cv_.notify_all();
+  }
+  events_.close();
+  ready_.close();
+  if (scheduler_thread_.joinable()) scheduler_thread_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+PipelinedScheduler::Stats PipelinedScheduler::stats() const {
+  Stats s;
+  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  s.commands_executed = commands_executed_.load(std::memory_order_relaxed);
+  std::lock_guard lk(stats_mu_);
+  s.batches_delivered = graph_.batches_inserted();
+  s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
+  s.conflict = graph_.conflict_stats();
+  return s;
+}
+
+void PipelinedScheduler::scheduler_loop() {
+  auto dispatch_free = [&] {
+    while (DependencyGraph::Node* node = graph_.take_oldest_free()) {
+      ready_.push(node);
+    }
+  };
+  while (auto event = events_.pop()) {
+    std::unique_lock stats_lk(stats_mu_);
+    if (auto* delivery = std::get_if<Delivery>(&*event)) {
+      graph_.insert(std::move(delivery->batch));
+      dispatch_free();
+    } else {
+      auto& completion = std::get<Completion>(*event);
+      graph_.remove(completion.node);
+      dispatch_free();
+      stats_lk.unlock();
+      const bool reached_idle =
+          outstanding_.fetch_sub(1, std::memory_order_relaxed) == 1;
+      if (reached_idle || config_.max_pending_batches != 0) {
+        // Take the mutex (even though the counter is atomic) so a waiter
+        // caught between its predicate check and cv wait cannot miss the
+        // wakeup.
+        std::lock_guard lk(idle_mu_);
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void PipelinedScheduler::worker_loop() {
+  while (auto node = ready_.pop()) {
+    const smr::BatchPtr batch = (*node)->batch;  // keep alive across remove
+    executor_(*batch);
+    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+    commands_executed_.fetch_add(batch->size(), std::memory_order_relaxed);
+    events_.push(Event{Completion{*node}});
+  }
+}
+
+}  // namespace psmr::core

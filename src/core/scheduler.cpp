@@ -1,0 +1,133 @@
+#include "core/scheduler.hpp"
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace psmr::core {
+
+Scheduler::Scheduler(Config config, Executor executor)
+    : config_(config), executor_(std::move(executor)), graph_(config.mode) {
+  PSMR_CHECK(config_.workers >= 1);
+  PSMR_CHECK(executor_ != nullptr);
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+  std::lock_guard lk(mu_);
+  PSMR_CHECK(!started_);
+  started_ = true;
+  workers_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+bool Scheduler::deliver(smr::BatchPtr batch) {
+  PSMR_CHECK(batch != nullptr);
+  PSMR_CHECK(batch->sequence() != 0);  // assigned by the total order
+  std::unique_lock lk(mu_);
+  if (config_.max_pending_batches != 0) {
+    space_free_.wait(lk, [&] {
+      return stopping_ || graph_.size() < config_.max_pending_batches;
+    });
+  }
+  if (stopping_) return false;
+  graph_.insert(std::move(batch));
+  // The new batch may be immediately free; wake one worker (line 14–16:
+  // the scheduler keeps delivering, workers pull).
+  lk.unlock();
+  batch_ready_.notify_one();
+  return true;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_.wait(lk, [&] { return graph_.empty(); });
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_) {
+      // Already stopping; fall through to join (idempotence for callers
+      // racing the destructor).
+    }
+    stopping_ = true;
+  }
+  batch_ready_.notify_all();
+  space_free_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard lk(mu_);
+  Stats s;
+  s.batches_executed = batches_executed_;
+  s.commands_executed = commands_executed_;
+  s.batches_delivered = graph_.batches_inserted();
+  s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
+  s.max_graph_size_at_insert = graph_.size_at_insert().max();
+  s.conflict = graph_.conflict_stats();
+  s.queue_wait_p50_ns = queue_wait_.p50();
+  s.queue_wait_p99_ns = queue_wait_.p99();
+  return s;
+}
+
+std::size_t Scheduler::graph_size() const {
+  std::lock_guard lk(mu_);
+  return graph_.size();
+}
+
+void Scheduler::check_invariants() const {
+  std::lock_guard lk(mu_);
+  graph_.check_invariants();
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    DependencyGraph::Node* node = graph_.take_oldest_free();
+    if (node == nullptr) {
+      if (stopping_ && graph_.empty()) return;
+      if (stopping_ && graph_.num_free() == 0 && graph_.size() > 0) {
+        // Drain mode: remaining batches are blocked on taken ones being
+        // executed by peers; wait for them to finish.
+      }
+      batch_ready_.wait(lk, [&] {
+        return graph_.num_free() > 0 || (stopping_ && graph_.empty());
+      });
+      continue;
+    }
+    const smr::BatchPtr batch = node->batch;  // keep alive across remove()
+    queue_wait_.record(util::now_ns() - node->inserted_at_ns);
+    lk.unlock();
+    executor_(*batch);  // line 45: execute commands in their order
+    lk.lock();
+    const std::size_t freed = graph_.remove(node);
+    batches_executed_ += 1;
+    commands_executed_ += batch->size();
+    if (freed > 1) {
+      lk.unlock();
+      batch_ready_.notify_all();
+      lk.lock();
+    } else if (freed == 1) {
+      lk.unlock();
+      batch_ready_.notify_one();
+      lk.lock();
+    }
+    if (config_.max_pending_batches != 0) space_free_.notify_one();
+    if (graph_.empty()) {
+      idle_.notify_all();
+      if (stopping_) {
+        batch_ready_.notify_all();  // release peers waiting for work
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace psmr::core

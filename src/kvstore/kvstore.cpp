@@ -1,0 +1,135 @@
+#include "kvstore/kvstore.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace psmr::kv {
+
+KvStore::KvStore(std::size_t shards) : mask_(0), shards_(std::bit_ceil(shards)) {
+  PSMR_CHECK(!shards_.empty());
+  mask_ = shards_.size() - 1;
+}
+
+KvStore::Shard& KvStore::shard_for(smr::Key key) const {
+  return shards_[util::mix64(key) & mask_];
+}
+
+smr::Status KvStore::create(smr::Key key, smr::Value value) {
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  auto [it, inserted] = s.map.try_emplace(key, value);
+  return inserted ? smr::Status::kOk : smr::Status::kAlreadyExists;
+}
+
+smr::Status KvStore::read(smr::Key key, smr::Value& out) const {
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return smr::Status::kNotFound;
+  out = it->second;
+  return smr::Status::kOk;
+}
+
+smr::Status KvStore::update(smr::Key key, smr::Value value) {
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  s.map[key] = value;
+  return smr::Status::kOk;
+}
+
+smr::Status KvStore::remove(smr::Key key) {
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  return s.map.erase(key) ? smr::Status::kOk : smr::Status::kNotFound;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+std::uint64_t KvStore::digest() const {
+  std::uint64_t d = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    for (const auto& [k, v] : s.map) {
+      d += util::mix64(util::hash_combine(util::mix64(k), util::mix64(v)));
+    }
+  }
+  return d;
+}
+
+std::vector<std::pair<smr::Key, smr::Value>> KvStore::snapshot() const {
+  std::vector<std::pair<smr::Key, smr::Value>> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    out.insert(out.end(), s.map.begin(), s.map.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> KvStore::serialize() const {
+  const auto entries = snapshot();
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + entries.size() * 16);
+  const std::uint64_t magic = 0x50534d524b560001ull;  // "PSMRKV" v1
+  const std::uint64_t count = entries.size();
+  auto put = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  put(&magic, sizeof(magic));
+  put(&count, sizeof(count));
+  for (const auto& [k, v] : entries) {
+    put(&k, sizeof(k));
+    put(&v, sizeof(v));
+  }
+  return out;
+}
+
+bool KvStore::deserialize(const std::vector<std::uint8_t>& bytes) {
+  clear();
+  std::size_t off = 0;
+  auto get = [&](void* p, std::size_t n) {
+    if (off + n > bytes.size()) return false;
+    std::memcpy(p, bytes.data() + off, n);
+    off += n;
+    return true;
+  };
+  std::uint64_t magic = 0, count = 0;
+  if (!get(&magic, sizeof(magic)) || magic != 0x50534d524b560001ull) return false;
+  if (!get(&count, sizeof(count))) return false;
+  if (count > (bytes.size() - off) / 16) return false;  // truncated
+  for (std::uint64_t i = 0; i < count; ++i) {
+    smr::Key k = 0;
+    smr::Value v = 0;
+    if (!get(&k, sizeof(k)) || !get(&v, sizeof(v))) {
+      clear();
+      return false;
+    }
+    update(k, v);
+  }
+  if (off != bytes.size()) {
+    clear();
+    return false;
+  }
+  return true;
+}
+
+void KvStore::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    s.map.clear();
+  }
+}
+
+}  // namespace psmr::kv

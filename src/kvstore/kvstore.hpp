@@ -1,0 +1,103 @@
+// In-memory key-value store — the replicated service of the evaluation
+// (§VI: "commands to create, read, update and remove keys from an
+// in-memory database").
+//
+// Concurrency: the store is sharded with striped locks. The scheduler
+// already guarantees that two commands on the SAME key never run
+// concurrently (they conflict), so the per-shard locks only arbitrate
+// hash-table structural mutation between commands on DIFFERENT keys that
+// land in the same shard — cheap and uncontended at realistic shard counts.
+//
+// Determinism: state changes are a pure function of (state, command); the
+// digest() fold is order-insensitive per key so replicas that executed
+// independent commands in different real-time orders still produce equal
+// digests iff their final states are equal.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "smr/command.hpp"
+#include "util/spin.hpp"
+
+namespace psmr::kv {
+
+class KvStore {
+ public:
+  /// `shards` must be a power of two.
+  explicit KvStore(std::size_t shards = 256);
+
+  smr::Status create(smr::Key key, smr::Value value);
+  smr::Status read(smr::Key key, smr::Value& out) const;
+  smr::Status update(smr::Key key, smr::Value value);
+  smr::Status remove(smr::Key key);
+
+  std::size_t size() const;
+
+  /// Order-insensitive 64-bit digest of the full state (sum of per-entry
+  /// mixes). Equal states <=> equal digests with overwhelming probability;
+  /// used by tests to compare replicas cheaply.
+  std::uint64_t digest() const;
+
+  /// Full snapshot (sorted by key) — for exact state comparison in tests.
+  std::vector<std::pair<smr::Key, smr::Value>> snapshot() const;
+
+  /// Serializes the full state (sorted entries) for state transfer to a
+  /// recovering replica. Callers must quiesce execution first (the replica
+  /// does, via wait_idle); serialization itself takes the shard locks.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Replaces the entire state with a snapshot produced by serialize().
+  /// Returns false (leaving the store empty) on malformed input.
+  bool deserialize(const std::vector<std::uint8_t>& bytes);
+
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<smr::Key, smr::Value> map;
+  };
+
+  Shard& shard_for(smr::Key key) const;
+
+  std::size_t mask_;
+  mutable std::vector<Shard> shards_;
+};
+
+/// Adapts KvStore to the smr::Service interface, adding the synthetic
+/// per-command execution cost (busy work) used to model light vs heavy
+/// commands (§VII-A).
+class KvService final : public smr::Service {
+ public:
+  explicit KvService(KvStore& store) : store_(store) {}
+
+  smr::Response execute(const smr::Command& cmd) override {
+    if (cmd.cost_ns > 0) util::busy_work(cmd.cost_ns);
+    smr::Response r;
+    r.client_id = cmd.client_id;
+    r.sequence = cmd.sequence;
+    switch (cmd.type) {
+      case smr::OpType::kCreate:
+        r.status = store_.create(cmd.key, cmd.value);
+        break;
+      case smr::OpType::kRead:
+        r.status = store_.read(cmd.key, r.value);
+        break;
+      case smr::OpType::kUpdate:
+        r.status = store_.update(cmd.key, cmd.value);
+        break;
+      case smr::OpType::kRemove:
+        r.status = store_.remove(cmd.key);
+        break;
+    }
+    return r;
+  }
+
+ private:
+  KvStore& store_;
+};
+
+}  // namespace psmr::kv

@@ -1,0 +1,83 @@
+// Replicated lock manager — a second state machine for the SMR stack.
+//
+// The paper motivates PSMR with coordination services (Chubby, ZooKeeper:
+// distributed locking, leader election, §I). This service implements that
+// workload shape on the same Command grammar the scheduler already
+// understands, reusing the CRUD op codes with lock semantics:
+//
+//   kCreate  -> ACQUIRE  (value = owner id; fails if held by another owner,
+//                         re-entrant for the same owner)
+//   kRemove  -> RELEASE  (fails unless held by the caller)
+//   kRead    -> HOLDER   (returns owner, or kNotFound when free)
+//   kUpdate  -> BARRIER  (unconditional overwrite — administrative break of
+//                         a lock, e.g. fencing a dead client)
+//
+// Every operation on a lock key is a write or depends on the holder, so
+// commands on the same lock conflict and the scheduler serializes them in
+// delivery order at every replica — which is exactly what makes the
+// decision "who got the lock first" identical cluster-wide. Operations on
+// different locks are independent and run in parallel.
+//
+// Determinism: outcome is a pure function of (table, command); ownership is
+// the client id already carried by every command.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "smr/command.hpp"
+
+namespace psmr::kv {
+
+class LockTable {
+ public:
+  explicit LockTable(std::size_t shards = 64);
+
+  /// kOk on success (including re-entrant acquire by the same owner),
+  /// kAlreadyExists when held by a different owner.
+  smr::Status acquire(smr::Key lock, std::uint64_t owner);
+
+  /// kOk when the caller held it, kNotFound otherwise (wrong owner or
+  /// free — both mean "you do not hold this lock").
+  smr::Status release(smr::Key lock, std::uint64_t owner);
+
+  /// kOk + owner when held, kNotFound when free.
+  smr::Status holder(smr::Key lock, std::uint64_t& owner_out) const;
+
+  /// Unconditional transfer/break (administrative fencing).
+  smr::Status force_transfer(smr::Key lock, std::uint64_t new_owner);
+
+  std::size_t held_count() const;
+
+  /// Order-insensitive digest over (lock, owner) pairs for cross-replica
+  /// comparison.
+  std::uint64_t digest() const;
+
+  std::vector<std::pair<smr::Key, std::uint64_t>> snapshot() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<smr::Key, std::uint64_t> owners;
+  };
+  Shard& shard_for(smr::Key key) const;
+
+  std::size_t mask_;
+  mutable std::vector<Shard> shards_;
+};
+
+/// smr::Service adapter mapping the CRUD command grammar onto lock
+/// semantics (see file header for the op-code table).
+class LockService final : public smr::Service {
+ public:
+  explicit LockService(LockTable& table) : table_(table) {}
+
+  smr::Response execute(const smr::Command& cmd) override;
+
+ private:
+  LockTable& table_;
+};
+
+}  // namespace psmr::kv

@@ -1,0 +1,10 @@
+#include "net/network.hpp"
+
+// Network<M> is a class template; this translation unit instantiates it for
+// a trivial payload as a compile-time smoke check of the template body.
+
+namespace psmr::net {
+
+template class Network<int>;
+
+}  // namespace psmr::net

@@ -1,0 +1,283 @@
+// In-process simulated message-passing network.
+//
+// Models the paper's system model (§II): asynchronous point-to-point
+// channels between processes, fair-lossy at worst (a message re-sent enough
+// times eventually arrives at a correct receiver). Processes are threads;
+// each registered process owns an inbox. Links can be configured with drop
+// probability, duplication probability, and delay ranges, and can be cut
+// entirely (`set_link_up(false)`) to simulate partitions or crashed peers.
+//
+// Delayed messages are held in a timer heap serviced by a dedicated pacer
+// thread; zero-delay messages are delivered synchronously into the
+// receiver's inbox. All randomness is seeded, so a fixed seed plus a fixed
+// thread interleaving reproduces the same loss pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/blocking_queue.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace psmr::net {
+
+using ProcessId = std::uint32_t;
+
+/// Per-link behaviour. Defaults model a perfect, instantaneous link.
+struct LinkConfig {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  std::uint64_t min_delay_us = 0;
+  std::uint64_t max_delay_us = 0;
+  bool up = true;
+};
+
+template <typename M>
+struct Envelope {
+  ProcessId from = 0;
+  ProcessId to = 0;
+  M msg{};
+};
+
+/// One process's receive side. Obtained from Network::register_process.
+template <typename M>
+class Endpoint {
+ public:
+  explicit Endpoint(ProcessId id) : id_(id) {}
+
+  ProcessId id() const noexcept { return id_; }
+
+  /// Blocks until a message arrives or the network shuts down (nullopt).
+  std::optional<Envelope<M>> recv() { return inbox_.pop(); }
+
+  /// Blocks up to `timeout`; nullopt on timeout or shutdown.
+  template <typename Rep, typename Period>
+  std::optional<Envelope<M>> recv_for(std::chrono::duration<Rep, Period> timeout) {
+    return inbox_.pop_for(timeout);
+  }
+
+  std::optional<Envelope<M>> try_recv() { return inbox_.try_pop(); }
+
+  std::size_t pending() const { return inbox_.size(); }
+
+ private:
+  template <typename>
+  friend class Network;
+
+  ProcessId id_;
+  util::BlockingQueue<Envelope<M>> inbox_;
+};
+
+template <typename M>
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {
+    pacer_ = std::thread([this] { pacer_loop(); });
+  }
+
+  ~Network() { shutdown(); }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a process; ids must be unique. The returned endpoint remains
+  /// valid until the network is destroyed.
+  Endpoint<M>* register_process(ProcessId id) {
+    std::lock_guard lk(mu_);
+    PSMR_CHECK(!endpoints_.contains(id));
+    auto ep = std::make_unique<Endpoint<M>>(id);
+    Endpoint<M>* raw = ep.get();
+    endpoints_.emplace(id, std::move(ep));
+    return raw;
+  }
+
+  /// Applies `cfg` to the directed link from -> to.
+  void set_link(ProcessId from, ProcessId to, LinkConfig cfg) {
+    std::lock_guard lk(mu_);
+    links_[link_key(from, to)] = cfg;
+  }
+
+  /// Applies `cfg` to every existing and future link (per-link overrides
+  /// still win).
+  void set_default_link(LinkConfig cfg) {
+    std::lock_guard lk(mu_);
+    default_link_ = cfg;
+  }
+
+  /// Cuts (or restores) both directions between a and b.
+  void set_link_up(ProcessId a, ProcessId b, bool link_up) {
+    std::lock_guard lk(mu_);
+    for (auto key : {link_key(a, b), link_key(b, a)}) {
+      auto it = links_.find(key);
+      if (it == links_.end()) {
+        LinkConfig cfg = default_link_;
+        cfg.up = link_up;
+        links_.emplace(key, cfg);
+      } else {
+        it->second.up = link_up;
+      }
+    }
+  }
+
+  /// Isolates a process entirely (crash simulation at the network level).
+  void isolate(ProcessId p, bool isolated) {
+    std::lock_guard lk(mu_);
+    isolated_[p] = isolated;
+  }
+
+  /// Sends msg from -> to, applying the link's fault plan. Returns false if
+  /// the destination is unknown (message silently dropped — consistent with
+  /// an asynchronous network).
+  bool send(ProcessId from, ProcessId to, M msg) {
+    std::unique_lock lk(mu_);
+    if (shutdown_) return false;
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return false;
+    if (is_isolated_locked(from) || is_isolated_locked(to)) {
+      ++dropped_;
+      return true;  // sent into the void
+    }
+    const LinkConfig cfg = link_config_locked(from, to);
+    if (!cfg.up || (cfg.drop_probability > 0 && rng_.next_bool(cfg.drop_probability))) {
+      ++dropped_;
+      return true;
+    }
+    int copies = 1;
+    if (cfg.duplicate_probability > 0 && rng_.next_bool(cfg.duplicate_probability)) {
+      copies = 2;
+      ++duplicated_;
+    }
+    ++delivered_;
+    for (int c = 0; c < copies; ++c) {
+      const std::uint64_t delay_us = sample_delay_locked(cfg);
+      if (delay_us == 0) {
+        Endpoint<M>* ep = it->second.get();
+        lk.unlock();
+        ep->inbox_.push(Envelope<M>{from, to, msg});
+        lk.lock();
+        if (shutdown_) return false;
+        it = endpoints_.find(to);
+        if (it == endpoints_.end()) return false;
+      } else {
+        heap_.push(Delayed{util::now_ns() + delay_us * 1000, seq_++,
+                           Envelope<M>{from, to, msg}});
+        pacer_cv_.notify_one();
+      }
+    }
+    return true;
+  }
+
+  /// Sends to every registered process (including `from` itself unless
+  /// excluded by the caller) — convenience for consensus fan-out.
+  void send_to_all(ProcessId from, const std::vector<ProcessId>& group, const M& msg) {
+    for (ProcessId to : group) send(from, to, msg);
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard lk(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    pacer_cv_.notify_all();
+    if (pacer_.joinable()) pacer_.join();
+    std::lock_guard lk(mu_);
+    for (auto& [id, ep] : endpoints_) ep->inbox_.close();
+  }
+
+  std::uint64_t messages_delivered() const {
+    std::lock_guard lk(mu_);
+    return delivered_;
+  }
+  std::uint64_t messages_dropped() const {
+    std::lock_guard lk(mu_);
+    return dropped_;
+  }
+  std::uint64_t messages_duplicated() const {
+    std::lock_guard lk(mu_);
+    return duplicated_;
+  }
+
+ private:
+  struct Delayed {
+    std::uint64_t deliver_at_ns;
+    std::uint64_t seq;  // FIFO tiebreak for equal deadlines
+    Envelope<M> env;
+    bool operator>(const Delayed& o) const {
+      if (deliver_at_ns != o.deliver_at_ns) return deliver_at_ns > o.deliver_at_ns;
+      return seq > o.seq;
+    }
+  };
+
+  static std::uint64_t link_key(ProcessId from, ProcessId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  LinkConfig link_config_locked(ProcessId from, ProcessId to) const {
+    auto it = links_.find(link_key(from, to));
+    return it == links_.end() ? default_link_ : it->second;
+  }
+
+  bool is_isolated_locked(ProcessId p) const {
+    auto it = isolated_.find(p);
+    return it != isolated_.end() && it->second;
+  }
+
+  std::uint64_t sample_delay_locked(const LinkConfig& cfg) {
+    if (cfg.max_delay_us == 0) return cfg.min_delay_us;
+    if (cfg.max_delay_us <= cfg.min_delay_us) return cfg.min_delay_us;
+    return cfg.min_delay_us + rng_.next_below(cfg.max_delay_us - cfg.min_delay_us + 1);
+  }
+
+  void pacer_loop() {
+    std::unique_lock lk(mu_);
+    while (!shutdown_) {
+      if (heap_.empty()) {
+        pacer_cv_.wait(lk, [&] { return shutdown_ || !heap_.empty(); });
+        continue;
+      }
+      const std::uint64_t now = util::now_ns();
+      if (heap_.top().deliver_at_ns <= now) {
+        Delayed d = heap_.top();
+        heap_.pop();
+        auto it = endpoints_.find(d.env.to);
+        if (it != endpoints_.end()) {
+          Endpoint<M>* ep = it->second.get();
+          lk.unlock();
+          ep->inbox_.push(std::move(d.env));
+          lk.lock();
+        }
+      } else {
+        const auto deadline = util::Clock::time_point(
+            std::chrono::nanoseconds(heap_.top().deliver_at_ns));
+        pacer_cv_.wait_until(lk, deadline);
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable pacer_cv_;
+  std::unordered_map<ProcessId, std::unique_ptr<Endpoint<M>>> endpoints_;
+  std::unordered_map<std::uint64_t, LinkConfig> links_;
+  std::unordered_map<ProcessId, bool> isolated_;
+  LinkConfig default_link_;
+  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> heap_;
+  util::Xoshiro256 rng_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  bool shutdown_ = false;
+  std::thread pacer_;
+};
+
+}  // namespace psmr::net

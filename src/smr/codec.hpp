@@ -1,0 +1,30 @@
+// Binary serialization of batches for transport through the consensus
+// substrate (atomic broadcast carries byte payloads, as URingPaxos did for
+// the paper's prototype).
+//
+// The Bloom digest is NOT shipped: it is a pure function of the batch's
+// keys and the (replica-wide, static) BitmapConfig, so the decoder rebuilds
+// it bit-for-bit identically. This keeps payloads proportional to the batch
+// size instead of the bitmap size m.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "smr/batch.hpp"
+
+namespace psmr::smr {
+
+/// Encodes `batch` (commands + routing metadata + whether a digest should
+/// be rebuilt on decode).
+std::vector<std::uint8_t> encode_batch(const Batch& batch);
+
+/// Decodes a batch previously produced by encode_batch. Returns nullopt on
+/// malformed input (truncation, bad magic, absurd counts). When the encoded
+/// batch carried a digest, it is rebuilt using `cfg`.
+std::optional<Batch> decode_batch(std::span<const std::uint8_t> bytes,
+                                  const BitmapConfig& cfg);
+
+}  // namespace psmr::smr

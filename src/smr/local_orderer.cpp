@@ -1,0 +1,3 @@
+#include "smr/local_orderer.hpp"
+
+// Header-only; translation unit anchors the library target.

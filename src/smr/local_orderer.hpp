@@ -1,0 +1,54 @@
+// In-process total-order source.
+//
+// Provides the atomic-broadcast abstraction (§II) at function-call cost:
+// broadcast() assigns the next sequence number under a mutex and
+// synchronously fans the batch out to every subscribed replica. All
+// subscribers observe the identical delivery order — the property the
+// schedulers rely on — without consensus overhead, so scheduler benchmarks
+// measure the scheduler and not the transport (the paper's Paxos deployment
+// was likewise provisioned not to be the bottleneck). The full consensus
+// stack in src/consensus provides the same interface over a simulated
+// network for fidelity tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "smr/batch.hpp"
+
+namespace psmr::smr {
+
+class LocalOrderer {
+ public:
+  using DeliverFn = std::function<void(BatchPtr)>;
+
+  /// Registers a replica's delivery callback. Not thread-safe with respect
+  /// to broadcast(); subscribe everything before driving load.
+  void subscribe(DeliverFn fn) { subscribers_.push_back(std::move(fn)); }
+
+  /// Assigns the next position in the total order and delivers to every
+  /// subscriber, in subscription order, on the caller's thread. Callbacks
+  /// may block (scheduler backpressure), which backpressures the caller —
+  /// matching the closed-loop client model.
+  void broadcast(std::unique_ptr<Batch> batch) {
+    std::lock_guard lk(mu_);
+    batch->set_sequence(next_seq_++);
+    BatchPtr shared(std::move(batch));
+    for (const DeliverFn& fn : subscribers_) fn(shared);
+  }
+
+  std::uint64_t batches_ordered() const {
+    std::lock_guard lk(mu_);
+    return next_seq_ - 1;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 1;
+  std::vector<DeliverFn> subscribers_;
+};
+
+}  // namespace psmr::smr

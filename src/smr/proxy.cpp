@@ -1,0 +1,84 @@
+#include "smr/proxy.hpp"
+
+#include "util/assert.hpp"
+
+namespace psmr::smr {
+
+Proxy::Proxy(Config config, CommandSource source, BroadcastFn broadcast)
+    : config_(config),
+      source_(std::move(source)),
+      broadcast_(std::move(broadcast)),
+      client_seq_(config.num_clients, 0) {
+  PSMR_CHECK(config_.batch_size >= 1);
+  PSMR_CHECK(config_.num_clients >= 1);
+  PSMR_CHECK(source_ != nullptr);
+  PSMR_CHECK(broadcast_ != nullptr);
+}
+
+Proxy::~Proxy() { stop(); }
+
+void Proxy::start() {
+  PSMR_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Proxy::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  all_done_.notify_all();  // release a loop stuck waiting on lost responses
+  if (thread_.joinable()) thread_.join();
+}
+
+std::unique_ptr<Batch> Proxy::build_batch() {
+  std::vector<Command> commands;
+  commands.reserve(config_.batch_size);
+  for (std::size_t j = 0; j < config_.batch_size; ++j) {
+    const std::size_t local = j % config_.num_clients;
+    const std::uint64_t client_id = config_.proxy_id * config_.num_clients + local;
+    const std::uint64_t seq = ++client_seq_[local];
+    Command cmd = source_(client_id, seq);
+    cmd.client_id = client_id;
+    cmd.sequence = seq;
+    commands.push_back(cmd);
+  }
+  auto batch = std::make_unique<Batch>(std::move(commands));
+  batch->set_proxy_id(config_.proxy_id);
+  if (config_.use_bitmap) batch->build_bitmap(config_.bitmap);
+  return batch;
+}
+
+void Proxy::run_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::unique_ptr<Batch> batch = build_batch();
+    const std::size_t n = batch->size();
+    {
+      std::lock_guard lk(mu_);
+      outstanding_.clear();
+      for (const Command& c : batch->commands()) {
+        outstanding_.insert(op_token(c.client_id, c.sequence));
+      }
+    }
+    const std::uint64_t t0 = util::now_ns();
+    broadcast_(std::move(batch));
+    {
+      // Wait for the first reply to every command in the batch (§VI).
+      std::unique_lock lk(mu_);
+      all_done_.wait(lk, [&] {
+        return outstanding_.empty() || stop_.load(std::memory_order_relaxed);
+      });
+      if (!outstanding_.empty()) break;  // stopped mid-batch; don't count it
+    }
+    latency_.record(util::now_ns() - t0);
+    commands_completed_.fetch_add(n, std::memory_order_relaxed);
+    batches_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Proxy::on_response(const Response& r) {
+  std::lock_guard lk(mu_);
+  const auto it = outstanding_.find(op_token(r.client_id, r.sequence));
+  if (it == outstanding_.end()) return;  // duplicate or stale response
+  outstanding_.erase(it);
+  if (outstanding_.empty()) all_done_.notify_one();
+}
+
+}  // namespace psmr::smr

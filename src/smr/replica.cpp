@@ -1,0 +1,3 @@
+#include "smr/replica.hpp"
+
+// Header-only; translation unit anchors the library target.

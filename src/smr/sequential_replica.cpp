@@ -1,0 +1,3 @@
+#include "smr/sequential_replica.hpp"
+
+// Header-only; translation unit anchors the library target.

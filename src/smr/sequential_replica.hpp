@@ -1,0 +1,64 @@
+// Classical SMR replica (Figure 1(a)): a single execution thread applies
+// delivered commands strictly in delivery order. Serves two roles here:
+//   * the classical-SMR baseline, and
+//   * the oracle for state-equivalence tests — any correct parallel
+//     execution must end in exactly this replica's final state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "smr/batch.hpp"
+#include "smr/command.hpp"
+#include "util/blocking_queue.hpp"
+
+namespace psmr::smr {
+
+class SequentialReplica {
+ public:
+  using ResponseSink = std::function<void(const Response&)>;
+
+  SequentialReplica(Service& service, ResponseSink sink)
+      : service_(service), sink_(std::move(sink)) {}
+
+  ~SequentialReplica() { stop(); }
+
+  /// Synchronous application (no thread) — used by tests as the oracle.
+  void apply(const Batch& batch) {
+    for (const Command& cmd : batch.commands()) {
+      Response r = service_.execute(cmd);
+      if (sink_) sink_(r);
+      commands_executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Threaded mode: deliver() enqueues, a single executor thread applies in
+  /// FIFO order.
+  void start() {
+    executor_ = std::thread([this] {
+      while (auto batch = queue_.pop()) apply(**batch);
+    });
+  }
+
+  bool deliver(BatchPtr batch) { return queue_.push(std::move(batch)); }
+
+  void stop() {
+    queue_.close();
+    if (executor_.joinable()) executor_.join();
+  }
+
+  std::uint64_t commands_executed() const noexcept {
+    return commands_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Service& service_;
+  ResponseSink sink_;
+  util::BlockingQueue<BatchPtr> queue_;
+  std::thread executor_;
+  std::atomic<std::uint64_t> commands_executed_{0};
+};
+
+}  // namespace psmr::smr

@@ -1,0 +1,74 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace psmr::stats {
+
+Histogram::Histogram() : counts_(kBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned octave = msb - (kSubBucketBits - 1);  // >= 1
+  const std::uint64_t sub = (value >> (msb - (kSubBucketBits - 1))) - (kSubBuckets / 2);
+  return octave * kSubBuckets / 2 + kSubBuckets / 2 + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const std::size_t rel = index - kSubBuckets / 2;
+  const unsigned octave = static_cast<unsigned>(rel / (kSubBuckets / 2));
+  const std::uint64_t sub = rel % (kSubBuckets / 2) + kSubBuckets / 2;
+  // Reconstruct: bucket_for shifted the value right by `octave` bits, so the
+  // bucket covers [sub << octave, ((sub + 1) << octave) - 1].
+  return ((sub + 1) << octave) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) noexcept {
+  std::size_t b = bucket_for(value);
+  if (b >= counts_.size()) b = counts_.size() - 1;
+  counts_[b] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::mean() const noexcept {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t Histogram::value_at_quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+}
+
+}  // namespace psmr::stats

@@ -1,0 +1,55 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Records values (typically nanoseconds) into buckets whose width grows
+// geometrically, giving <= ~1.6% relative error per bucket with 64 sub-
+// buckets, constant-time record, and cheap percentile queries. Thread-safe
+// recording via per-thread instances + merge(), not internal locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace psmr::stats {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::uint64_t value) noexcept;
+  void record_n(std::uint64_t value, std::uint64_t n) noexcept;
+
+  /// Merges another histogram's counts into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept;
+
+  /// Value at quantile q in [0, 1]; returns an upper bound of the bucket
+  /// containing the q-th sample. 0 when empty.
+  std::uint64_t value_at_quantile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return value_at_quantile(0.50); }
+  std::uint64_t p99() const noexcept { return value_at_quantile(0.99); }
+  std::uint64_t p999() const noexcept { return value_at_quantile(0.999); }
+
+  void reset() noexcept;
+
+ private:
+  static std::size_t bucket_for(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
+
+  static constexpr unsigned kSubBucketBits = 6;  // 64 sub-buckets per octave
+  static constexpr std::size_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::size_t kBuckets = kSubBuckets * (64 - kSubBucketBits + 1);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace psmr::stats

@@ -1,0 +1,89 @@
+// Throughput meters and run summaries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace psmr::stats {
+
+/// Counts events across threads; reports a rate over the measured window.
+class ThroughputMeter {
+ public:
+  void start() { start_ns_ = util::now_ns(); }
+  void stop() { stop_ns_ = util::now_ns(); }
+
+  void add(std::uint64_t n = 1) noexcept {
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+
+  double elapsed_seconds() const noexcept {
+    const std::uint64_t end = stop_ns_ ? stop_ns_ : util::now_ns();
+    return static_cast<double>(end - start_ns_) / 1e9;
+  }
+
+  /// Events per second over the window.
+  double rate() const noexcept {
+    const double s = elapsed_seconds();
+    return s > 0 ? static_cast<double>(count()) / s : 0.0;
+  }
+
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    start_ns_ = util::now_ns();
+    stop_ns_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t stop_ns_ = 0;
+};
+
+/// Online mean/variance (Welford) for scalar series such as graph size
+/// samples — the paper reports the *average* dependency-graph size per
+/// configuration (§VII-D), which feeds Table I's simulation parameters.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStat& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace psmr::stats

@@ -1,0 +1,84 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace psmr::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&] {
+    std::fputc('+', out);
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), s.c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_cells(row);
+  print_sep();
+}
+
+void Table::print_csv(std::FILE* out) const {
+  // RFC-4180 quoting: cells containing commas, quotes, or newlines are
+  // wrapped in double quotes with embedded quotes doubled (configuration
+  // labels like "CBASE, batch size=1" contain commas).
+  auto print_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      std::fputs(cell.c_str(), out);
+      return;
+    }
+    std::fputc('"', out);
+    for (char ch : cell) {
+      if (ch == '"') std::fputc('"', out);
+      std::fputc(ch, out);
+    }
+    std::fputc('"', out);
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      print_cell(cells[c]);
+      std::fputc(c + 1 == cells.size() ? '\n' : ',', out);
+    }
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace psmr::stats

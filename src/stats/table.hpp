@@ -1,0 +1,38 @@
+// ASCII table printer for benchmark harness output.
+//
+// Every figure/table bench prints its result as one of these tables so the
+// paper-vs-measured comparison in EXPERIMENTS.md can be filled by reading
+// bench output directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace psmr::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells beyond the header count are dropped, missing cells
+  /// render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Renders as comma-separated values (for piping into plotting tools).
+  void print_csv(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psmr::stats

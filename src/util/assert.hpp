@@ -1,0 +1,30 @@
+// Lightweight always-on invariant checks.
+//
+// PSMR_CHECK is used for conditions that must hold in production builds
+// (violations indicate a broken invariant, not a recoverable error), so it
+// is not compiled out in release mode. PSMR_DCHECK compiles out with NDEBUG
+// and is reserved for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psmr::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "PSMR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace psmr::util
+
+#define PSMR_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::psmr::util::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PSMR_DCHECK(expr) ((void)0)
+#else
+#define PSMR_DCHECK(expr) PSMR_CHECK(expr)
+#endif

@@ -1,0 +1,42 @@
+#include "util/bitmap.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace psmr::util {
+
+std::size_t Bitmap::count() const noexcept {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool Bitmap::intersects(const Bitmap& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+std::size_t Bitmap::intersection_count(const Bitmap& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+void Bitmap::merge(const Bitmap& other) {
+  PSMR_CHECK(other.words_.size() <= words_.size());
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+bool Bitmap::none() const noexcept {
+  return std::all_of(words_.begin(), words_.end(), [](Word w) { return w == 0; });
+}
+
+}  // namespace psmr::util

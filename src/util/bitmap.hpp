@@ -1,0 +1,81 @@
+// Dynamic bit array with word-level set operations.
+//
+// This is the storage behind the batch bitmaps of paper §V ("Efficient batch
+// conflict detection"): conflict detection between two batches is a single
+// pass of word-wise AND over their bit arrays (`intersects`), instead of
+// O(B^2) per-key comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace psmr::util {
+
+/// Fixed-size-at-construction bit array. All word operations treat the
+/// array as little-endian in bit order: bit i lives in word i/64, bit i%64.
+class Bitmap {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  Bitmap() = default;
+
+  /// Creates a bitmap with `bits` addressable bits, all zero.
+  explicit Bitmap(std::size_t bits)
+      : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size_bits() const noexcept { return bits_; }
+  std::size_t size_words() const noexcept { return words_.size(); }
+  bool empty() const noexcept { return bits_ == 0; }
+
+  void set(std::size_t i) noexcept {
+    PSMR_DCHECK(i < bits_);
+    words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) noexcept {
+    PSMR_DCHECK(i < bits_);
+    words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+  }
+
+  bool test(std::size_t i) const noexcept {
+    PSMR_DCHECK(i < bits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  /// Zeroes every bit, keeping capacity.
+  void clear() noexcept {
+    for (Word& w : words_) w = 0;
+  }
+
+  /// Number of set bits (population count).
+  std::size_t count() const noexcept;
+
+  /// True iff any bit is set in both bitmaps. This is the batch-conflict
+  /// primitive: b(Bi) ∩ b(Bj) ≠ ∅. Bitmaps of different sizes compare over
+  /// the common word prefix (callers in psmr always use equal sizes; the
+  /// prefix rule keeps the operation total).
+  bool intersects(const Bitmap& other) const noexcept;
+
+  /// Number of bit positions set in both (|intersection|).
+  std::size_t intersection_count(const Bitmap& other) const noexcept;
+
+  /// In-place union; `other` must not be larger than this bitmap.
+  void merge(const Bitmap& other);
+
+  /// True iff no bit is set.
+  bool none() const noexcept;
+
+  bool operator==(const Bitmap& other) const noexcept = default;
+
+  const Word* data() const noexcept { return words_.data(); }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace psmr::util

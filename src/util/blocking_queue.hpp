@@ -1,0 +1,117 @@
+// Unbounded and bounded blocking queues (mutex + condition variable).
+//
+// These back the simulated network inboxes and any stage where blocking
+// semantics (wait-for-message, closed-channel shutdown) matter more than
+// raw throughput. `close()` wakes all waiters; pops on a closed, drained
+// queue return nullopt, which is the idiomatic shutdown signal throughout
+// psmr.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace psmr::util {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocks while full (bounded mode). Returns false if the queue was
+  /// closed before the element could be accepted.
+  bool push(T value) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || capacity_ == 0 || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_) return false;
+      if (capacity_ != 0 && items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed and
+  /// drained (then returns nullopt).
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Blocks with a deadline; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!not_empty_.wait_for(lk, timeout, [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace psmr::util

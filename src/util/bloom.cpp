@@ -1,0 +1,14 @@
+#include "util/bloom.hpp"
+
+#include <cmath>
+
+namespace psmr::util {
+
+double KeyBloom::query_fp_rate(std::size_t bits, unsigned hashes, std::size_t n_keys) {
+  const double m = static_cast<double>(bits);
+  const double k = static_cast<double>(hashes);
+  const double n = static_cast<double>(n_keys);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace psmr::util

@@ -1,0 +1,14 @@
+#include "util/hash.hpp"
+
+// Header-only functionality; this translation unit exists so the library has
+// a home for the compile-time self-checks below.
+
+namespace psmr::util {
+namespace {
+
+static_assert(mix64(1) != mix64(2), "distinct inputs must differ");
+static_assert(mix64(7, 0) != mix64(7, 1), "seeds must derive distinct functions");
+static_assert(fnv1a("") == 0xcbf29ce484222325ULL, "FNV offset basis");
+
+}  // namespace
+}  // namespace psmr::util

@@ -1,0 +1,56 @@
+// Hash functions used throughout psmr.
+//
+// The bitmap conflict-detection scheme (paper §V, §VI-B) hashes each command
+// key to a single bit position; safety requires the hash to be a pure
+// function of the key (identical at every replica), which all functions here
+// are: no per-process salting unless an explicit seed is passed, and the
+// seed travels with the configuration.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace psmr::util {
+
+/// 64-bit finalizer from SplitMix64 (Stafford variant 13). Excellent
+/// avalanche behaviour for integer keys; this is the default key hash for
+/// bitmap encoding.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Seeded variant: mixes the seed into the key before finalizing. Used to
+/// derive independent hash functions for multi-hash Bloom filters.
+constexpr std::uint64_t mix64(std::uint64_t x, std::uint64_t seed) noexcept {
+  return mix64(x + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// FNV-1a for byte strings (command payloads, string keys).
+constexpr std::uint64_t fnv1a(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministically combine two hashes (boost-style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Fast range reduction: map a 64-bit hash onto [0, n) without modulo bias
+/// (Lemire's multiply-shift). n must be > 0.
+inline std::uint64_t reduce_range(std::uint64_t hash, std::uint64_t n) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(hash) * static_cast<__uint128_t>(n)) >> 64);
+}
+
+}  // namespace psmr::util

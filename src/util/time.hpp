@@ -1,0 +1,39 @@
+// Monotonic timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psmr::util {
+
+using Clock = std::chrono::steady_clock;
+
+/// Nanoseconds since an arbitrary (monotonic) epoch.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start_)
+        .count();
+  }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace psmr::util

@@ -1,0 +1,61 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psmr::util {
+
+namespace {
+
+/// Computes (exp(x) - 1) / x with a series fallback near zero, and
+/// log1p-based helpers used by rejection inversion.
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  PSMR_CHECK(n >= 1);
+  PSMR_CHECK(theta >= 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfGenerator::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper1((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the domain
+  return std::exp(helper2(t) * x);
+}
+
+std::uint64_t ZipfGenerator::operator()(Xoshiro256& rng) const {
+  if (theta_ == 0.0) return rng.next_below(n_);
+  while (true) {
+    const double u = h_integral_num_elements_ +
+                     rng.next_double() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (k - x <= s_ || u >= h_integral(static_cast<double>(k) + 0.5) - h(static_cast<double>(k))) {
+      return k - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+}  // namespace psmr::util

@@ -1,0 +1,39 @@
+// Zipfian key distribution.
+//
+// Used by workload generators to model skewed access patterns (hot keys).
+// Implements rejection-inversion sampling (W. Hörmann & G. Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions", 1996) — O(1) per sample with no O(N) table, so key spaces
+// of 10^9 (Table I scale) are cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace psmr::util {
+
+class ZipfGenerator {
+ public:
+  /// Samples ranks in [0, n). `theta` is the skew exponent s in
+  /// p(rank k) ∝ 1/(k+1)^s; theta == 0 degenerates to uniform.
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Xoshiro256& rng) const;
+
+  std::uint64_t universe() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+}  // namespace psmr::util

@@ -1,0 +1,45 @@
+#include "workload/trace.hpp"
+
+#include <cstdint>
+
+#include "smr/codec.hpp"
+#include "util/assert.hpp"
+
+namespace psmr::workload {
+
+TraceWriter::TraceWriter(const std::string& path) : file_(std::fopen(path.c_str(), "wb")) {
+  PSMR_CHECK(file_ != nullptr);
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceWriter::append(const smr::Batch& batch) {
+  const std::vector<std::uint8_t> bytes = smr::encode_batch(batch);
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+  PSMR_CHECK(std::fwrite(&len, sizeof(len), 1, file_) == 1);
+  PSMR_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size());
+  ++count_;
+}
+
+TraceReader::TraceReader(const std::string& path, smr::BitmapConfig cfg)
+    : file_(std::fopen(path.c_str(), "rb")), cfg_(cfg) {
+  PSMR_CHECK(file_ != nullptr);
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<smr::Batch> TraceReader::next() {
+  std::uint32_t len = 0;
+  if (std::fread(&len, sizeof(len), 1, file_) != 1) return std::nullopt;  // EOF
+  std::vector<std::uint8_t> bytes(len);
+  PSMR_CHECK(std::fread(bytes.data(), 1, len, file_) == len);
+  auto batch = smr::decode_batch(bytes, cfg_);
+  PSMR_CHECK(batch.has_value());
+  return batch;
+}
+
+}  // namespace psmr::workload

@@ -1,0 +1,54 @@
+// Command-trace record/replay.
+//
+// Serializes a stream of batches to a binary file so a workload can be
+// captured once and replayed bit-identically — useful for regression
+// comparisons across scheduler variants and for sharing workloads between
+// the figure benches and tests.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/batch.hpp"
+
+namespace psmr::workload {
+
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path`. Aborts on I/O failure — traces are a test /
+  /// bench facility, not production input.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const smr::Batch& batch);
+  std::size_t batches_written() const noexcept { return count_; }
+
+ private:
+  std::FILE* file_;
+  std::size_t count_ = 0;
+};
+
+class TraceReader {
+ public:
+  /// Opens `path`; `cfg` rebuilds batch digests (see codec.hpp).
+  TraceReader(const std::string& path, smr::BitmapConfig cfg);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Next batch, or nullopt at end-of-file. Aborts on a corrupt record.
+  std::optional<smr::Batch> next();
+
+ private:
+  std::FILE* file_;
+  smr::BitmapConfig cfg_;
+};
+
+}  // namespace psmr::workload

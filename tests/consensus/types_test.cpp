@@ -1,0 +1,54 @@
+#include "consensus/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psmr::consensus {
+namespace {
+
+Value bytes(std::initializer_list<std::uint8_t> b) {
+  return std::make_shared<const std::vector<std::uint8_t>>(b);
+}
+
+TEST(Ballot, TotalOrder) {
+  EXPECT_LT((Ballot{1, 5}), (Ballot{2, 1}));   // counter dominates
+  EXPECT_LT((Ballot{2, 1}), (Ballot{2, 5}));   // node breaks ties
+  EXPECT_EQ((Ballot{3, 3}), (Ballot{3, 3}));
+  EXPECT_TRUE((Ballot{}).is_zero());
+  EXPECT_FALSE((Ballot{0, 1}).is_zero());
+}
+
+TEST(RequestWire, RoundTrip) {
+  const Value wire = wrap_request(0xdeadbeefcafef00dULL, bytes({1, 2, 3}));
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(unwrap_request(wire, id, payload));
+  EXPECT_EQ(id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(RequestWire, EmptyPayload) {
+  const Value wire = wrap_request(7, nullptr);
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(unwrap_request(wire, id, payload));
+  EXPECT_EQ(id, 7u);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(RequestWire, PeekMatchesUnwrap) {
+  const Value wire = wrap_request(42, bytes({9}));
+  std::uint64_t id = 0;
+  ASSERT_TRUE(peek_request_id(wire, id));
+  EXPECT_EQ(id, 42u);
+}
+
+TEST(RequestWire, RejectsShortValues) {
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(unwrap_request(nullptr, id, payload));
+  EXPECT_FALSE(unwrap_request(bytes({1, 2, 3}), id, payload));
+  EXPECT_FALSE(peek_request_id(bytes({}), id));
+}
+
+}  // namespace
+}  // namespace psmr::consensus

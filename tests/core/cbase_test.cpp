@@ -1,0 +1,101 @@
+#include "core/cbase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace psmr::core {
+namespace {
+
+smr::Command update(smr::Key key, smr::Value value) {
+  smr::Command c;
+  c.type = smr::OpType::kUpdate;
+  c.key = key;
+  c.value = value;
+  return c;
+}
+
+TEST(CbaseScheduler, ExecutesEveryCommand) {
+  std::atomic<std::uint64_t> executed{0};
+  CbaseScheduler::Config cfg;
+  cfg.workers = 4;
+  CbaseScheduler cbase(cfg, [&](const smr::Command&) { executed.fetch_add(1); });
+  cbase.start();
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(cbase.deliver(update(i, i)));
+  cbase.wait_idle();
+  cbase.stop();
+  EXPECT_EQ(executed.load(), 500u);
+  EXPECT_EQ(cbase.stats().commands_executed, 500u);
+  EXPECT_EQ(cbase.stats().batches_executed, 500u);  // one vertex per command
+}
+
+TEST(CbaseScheduler, SameKeyCommandsRunInDeliveryOrder) {
+  std::mutex mu;
+  std::vector<smr::Value> order;
+  CbaseScheduler::Config cfg;
+  cfg.workers = 8;
+  CbaseScheduler cbase(cfg, [&](const smr::Command& c) {
+    std::lock_guard lk(mu);
+    order.push_back(c.value);
+  });
+  cbase.start();
+  for (std::uint64_t i = 0; i < 300; ++i) cbase.deliver(update(/*key=*/7, i));
+  cbase.wait_idle();
+  cbase.stop();
+  ASSERT_EQ(order.size(), 300u);
+  for (std::uint64_t i = 0; i < 300; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(CbaseScheduler, PerKeyOrderMatchesSequentialOracle) {
+  util::Xoshiro256 rng(71);
+  std::vector<smr::Command> commands;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    commands.push_back(update(rng.next_below(20), i));
+  }
+  std::map<smr::Key, std::vector<smr::Value>> expected;
+  for (const auto& c : commands) expected[c.key].push_back(c.value);
+
+  std::mutex mu;
+  std::map<smr::Key, std::vector<smr::Value>> got;
+  CbaseScheduler::Config cfg;
+  cfg.workers = 16;
+  CbaseScheduler cbase(cfg, [&](const smr::Command& c) {
+    std::lock_guard lk(mu);
+    got[c.key].push_back(c.value);
+  });
+  cbase.start();
+  for (const auto& c : commands) cbase.deliver(c);
+  cbase.wait_idle();
+  cbase.stop();
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CbaseScheduler, BackpressureBoundsPendingCommands) {
+  CbaseScheduler::Config cfg;
+  cfg.workers = 1;
+  cfg.max_pending_commands = 8;
+  std::atomic<bool> release{false};
+  CbaseScheduler cbase(cfg, [&](const smr::Command&) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  cbase.start();
+  std::thread feeder([&] {
+    for (std::uint64_t i = 0; i < 50; ++i) cbase.deliver(update(i, i));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_LE(cbase.graph_size(), 8u);
+  release.store(true);
+  feeder.join();
+  cbase.wait_idle();
+  cbase.stop();
+}
+
+}  // namespace
+}  // namespace psmr::core

@@ -1,0 +1,190 @@
+#include "kvstore/kvstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace psmr::kv {
+namespace {
+
+TEST(KvStore, CreateReadUpdateRemove) {
+  KvStore store;
+  EXPECT_EQ(store.create(1, 100), smr::Status::kOk);
+  smr::Value v = 0;
+  EXPECT_EQ(store.read(1, v), smr::Status::kOk);
+  EXPECT_EQ(v, 100u);
+  EXPECT_EQ(store.update(1, 200), smr::Status::kOk);
+  EXPECT_EQ(store.read(1, v), smr::Status::kOk);
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(store.remove(1), smr::Status::kOk);
+  EXPECT_EQ(store.read(1, v), smr::Status::kNotFound);
+}
+
+TEST(KvStore, CreateExistingFails) {
+  KvStore store;
+  EXPECT_EQ(store.create(1, 100), smr::Status::kOk);
+  EXPECT_EQ(store.create(1, 999), smr::Status::kAlreadyExists);
+  smr::Value v = 0;
+  store.read(1, v);
+  EXPECT_EQ(v, 100u);  // failed create must not clobber
+}
+
+TEST(KvStore, RemoveAbsentFails) {
+  KvStore store;
+  EXPECT_EQ(store.remove(42), smr::Status::kNotFound);
+}
+
+TEST(KvStore, UpdateIsUpsert) {
+  KvStore store;
+  EXPECT_EQ(store.update(5, 50), smr::Status::kOk);
+  smr::Value v = 0;
+  EXPECT_EQ(store.read(5, v), smr::Status::kOk);
+  EXPECT_EQ(v, 50u);
+}
+
+TEST(KvStore, SizeAndClear) {
+  KvStore store;
+  for (smr::Key k = 0; k < 100; ++k) store.update(k, k);
+  EXPECT_EQ(store.size(), 100u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStore, SnapshotSortedAndComplete) {
+  KvStore store;
+  store.update(3, 30);
+  store.update(1, 10);
+  store.update(2, 20);
+  const auto snap = store.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], (std::pair<smr::Key, smr::Value>{1, 10}));
+  EXPECT_EQ(snap[1], (std::pair<smr::Key, smr::Value>{2, 20}));
+  EXPECT_EQ(snap[2], (std::pair<smr::Key, smr::Value>{3, 30}));
+}
+
+TEST(KvStore, DigestEqualIffStateEqual) {
+  KvStore a, b;
+  a.update(1, 10);
+  a.update(2, 20);
+  b.update(2, 20);  // different insertion order
+  b.update(1, 10);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.update(3, 30);
+  EXPECT_NE(a.digest(), b.digest());
+  b.remove(3);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.update(1, 11);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KvStore, ConcurrentDistinctKeysAreSafe) {
+  KvStore store(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const smr::Key k = static_cast<smr::Key>(t) * kPerThread + i;
+        store.update(k, k * 2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  smr::Value v = 0;
+  EXPECT_EQ(store.read(12345, v), smr::Status::kOk);
+  EXPECT_EQ(v, 24690u);
+}
+
+TEST(KvStore, ShardCountRoundsUp) {
+  KvStore store(3);  // rounds to 4; behaviour unchanged
+  store.update(1, 1);
+  smr::Value v = 0;
+  EXPECT_EQ(store.read(1, v), smr::Status::kOk);
+}
+
+TEST(KvStore, SerializeDeserializeRoundTrip) {
+  KvStore a;
+  for (smr::Key k = 0; k < 500; ++k) a.update(k * 3, k + 1000);
+  const auto bytes = a.serialize();
+  KvStore b;
+  b.update(999999, 1);  // pre-existing content must be replaced
+  ASSERT_TRUE(b.deserialize(bytes));
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(KvStore, SerializeEmptyStore) {
+  KvStore a, b;
+  ASSERT_TRUE(b.deserialize(a.serialize()));
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(KvStore, DeserializeRejectsGarbage) {
+  KvStore b;
+  EXPECT_FALSE(b.deserialize({1, 2, 3}));
+  EXPECT_EQ(b.size(), 0u);
+  KvStore a;
+  a.update(1, 1);
+  auto bytes = a.serialize();
+  bytes.pop_back();  // truncate
+  EXPECT_FALSE(b.deserialize(bytes));
+  EXPECT_EQ(b.size(), 0u);
+  bytes = a.serialize();
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(b.deserialize(bytes));
+  bytes = a.serialize();
+  bytes[0] ^= 0xff;  // bad magic
+  EXPECT_FALSE(b.deserialize(bytes));
+}
+
+TEST(KvService, ExecutesCommands) {
+  KvStore store;
+  KvService svc(store);
+  smr::Command c;
+  c.type = smr::OpType::kCreate;
+  c.key = 7;
+  c.value = 70;
+  c.client_id = 5;
+  c.sequence = 9;
+  smr::Response r = svc.execute(c);
+  EXPECT_EQ(r.status, smr::Status::kOk);
+  EXPECT_EQ(r.client_id, 5u);
+  EXPECT_EQ(r.sequence, 9u);
+
+  c.type = smr::OpType::kRead;
+  r = svc.execute(c);
+  EXPECT_EQ(r.status, smr::Status::kOk);
+  EXPECT_EQ(r.value, 70u);
+
+  c.type = smr::OpType::kRemove;
+  r = svc.execute(c);
+  EXPECT_EQ(r.status, smr::Status::kOk);
+
+  c.type = smr::OpType::kRead;
+  r = svc.execute(c);
+  EXPECT_EQ(r.status, smr::Status::kNotFound);
+}
+
+TEST(KvService, SyntheticCostBurnsTime) {
+  KvStore store;
+  KvService svc(store);
+  smr::Command cheap;
+  cheap.type = smr::OpType::kUpdate;
+  cheap.key = 1;
+  smr::Command costly = cheap;
+  costly.cost_ns = 200'000;  // 200 us
+
+  util::busy_work(1);  // calibrate
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) svc.execute(cheap);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) svc.execute(costly);
+  const auto t2 = std::chrono::steady_clock::now();
+  EXPECT_GT((t2 - t1), (t1 - t0) * 3);
+}
+
+}  // namespace
+}  // namespace psmr::kv

@@ -1,0 +1,170 @@
+#include "kvstore/lock_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace psmr::kv {
+namespace {
+
+TEST(LockTable, AcquireReleaseBasics) {
+  LockTable t;
+  EXPECT_EQ(t.acquire(1, 100), smr::Status::kOk);
+  EXPECT_EQ(t.acquire(1, 200), smr::Status::kAlreadyExists);
+  std::uint64_t owner = 0;
+  EXPECT_EQ(t.holder(1, owner), smr::Status::kOk);
+  EXPECT_EQ(owner, 100u);
+  EXPECT_EQ(t.release(1, 200), smr::Status::kNotFound);  // not the holder
+  EXPECT_EQ(t.release(1, 100), smr::Status::kOk);
+  EXPECT_EQ(t.holder(1, owner), smr::Status::kNotFound);
+}
+
+TEST(LockTable, ReentrantAcquire) {
+  LockTable t;
+  EXPECT_EQ(t.acquire(5, 7), smr::Status::kOk);
+  EXPECT_EQ(t.acquire(5, 7), smr::Status::kOk);  // same owner: ok
+  EXPECT_EQ(t.held_count(), 1u);
+}
+
+TEST(LockTable, ReleaseFreeLockFails) {
+  LockTable t;
+  EXPECT_EQ(t.release(9, 1), smr::Status::kNotFound);
+}
+
+TEST(LockTable, ForceTransferBreaksLock) {
+  LockTable t;
+  t.acquire(3, 10);
+  EXPECT_EQ(t.force_transfer(3, 20), smr::Status::kOk);
+  std::uint64_t owner = 0;
+  t.holder(3, owner);
+  EXPECT_EQ(owner, 20u);
+  EXPECT_EQ(t.release(3, 10), smr::Status::kNotFound);  // fenced out
+  EXPECT_EQ(t.release(3, 20), smr::Status::kOk);
+}
+
+TEST(LockTable, DigestAndSnapshot) {
+  LockTable a, b;
+  a.acquire(1, 10);
+  a.acquire(2, 20);
+  b.acquire(2, 20);
+  b.acquire(1, 10);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  b.release(2, 20);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+smr::Command lock_cmd(smr::OpType type, smr::Key lock, std::uint64_t client,
+                      std::uint64_t seq = 0, smr::Value value = 0) {
+  smr::Command c;
+  c.type = type;
+  c.key = lock;
+  c.client_id = client;
+  c.sequence = seq;
+  c.value = value;
+  return c;
+}
+
+TEST(LockService, CommandGrammarMapsToLockSemantics) {
+  LockTable table;
+  LockService svc(table);
+  // client 1 acquires
+  auto r = svc.execute(lock_cmd(smr::OpType::kCreate, 42, 1, 1));
+  EXPECT_EQ(r.status, smr::Status::kOk);
+  // client 2 cannot
+  r = svc.execute(lock_cmd(smr::OpType::kCreate, 42, 2, 1));
+  EXPECT_EQ(r.status, smr::Status::kAlreadyExists);
+  // holder query
+  r = svc.execute(lock_cmd(smr::OpType::kRead, 42, 2, 2));
+  EXPECT_EQ(r.status, smr::Status::kOk);
+  EXPECT_EQ(r.value, 1u);
+  // barrier transfers to client 2
+  r = svc.execute(lock_cmd(smr::OpType::kUpdate, 42, 9, 1, /*value=*/2));
+  EXPECT_EQ(r.status, smr::Status::kOk);
+  // old holder's release fails; new holder's succeeds
+  EXPECT_EQ(svc.execute(lock_cmd(smr::OpType::kRemove, 42, 1, 2)).status,
+            smr::Status::kNotFound);
+  EXPECT_EQ(svc.execute(lock_cmd(smr::OpType::kRemove, 42, 2, 3)).status,
+            smr::Status::kOk);
+}
+
+TEST(LockService, SchedulerGrantsLocksInDeliveryOrderAtEveryRun) {
+  // The coordination-service property PSMR must preserve: when many clients
+  // race for one lock, every replica/run grants it to the SAME client — the
+  // one whose acquire was delivered first.
+  auto run_once = [](unsigned workers) {
+    LockTable table;
+    LockService svc(table);
+    std::mutex mu;
+    std::map<std::uint64_t, std::vector<std::pair<std::uint64_t, smr::Status>>> grants;
+    core::Scheduler::Config cfg;
+    cfg.workers = workers;
+    core::Scheduler sched(cfg, [&](const smr::Batch& b) {
+      for (const smr::Command& c : b.commands()) {
+        const smr::Response r = svc.execute(c);
+        if (c.type == smr::OpType::kCreate) {
+          std::lock_guard lk(mu);
+          grants[c.key].emplace_back(c.client_id, r.status);
+        }
+      }
+    });
+    sched.start();
+    util::Xoshiro256 rng(99);  // same delivery sequence each run
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t client = rng.next_below(10);
+      const smr::Key lock = rng.next_below(5);
+      const bool release = rng.next_bool(0.3);
+      auto batch = std::make_shared<smr::Batch>(std::vector<smr::Command>{
+          lock_cmd(release ? smr::OpType::kRemove : smr::OpType::kCreate, lock, client,
+                   static_cast<std::uint64_t>(i))});
+      batch->set_sequence(++seq);
+      sched.deliver(std::move(batch));
+    }
+    sched.wait_idle();
+    sched.stop();
+    std::lock_guard lk(mu);
+    return grants;
+  };
+  const auto a = run_once(1);
+  const auto b = run_once(8);
+  const auto c = run_once(16);
+  EXPECT_EQ(a, b);  // same grant outcomes regardless of parallelism
+  EXPECT_EQ(a, c);
+}
+
+TEST(LockService, IndependentLocksProceedConcurrently) {
+  LockTable table;
+  LockService svc(table);
+  std::atomic<int> concurrent{0}, max_concurrent{0};
+  core::Scheduler::Config cfg;
+  cfg.workers = 8;
+  core::Scheduler sched(cfg, [&](const smr::Batch& b) {
+    const int now = concurrent.fetch_add(1) + 1;
+    int expected = max_concurrent.load();
+    while (now > expected && !max_concurrent.compare_exchange_weak(expected, now)) {
+    }
+    for (const smr::Command& c : b.commands()) svc.execute(c);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    concurrent.fetch_sub(1);
+  });
+  sched.start();
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    auto batch = std::make_shared<smr::Batch>(
+        std::vector<smr::Command>{lock_cmd(smr::OpType::kCreate, /*lock=*/i, i, 1)});
+    batch->set_sequence(i);
+    sched.deliver(std::move(batch));
+  }
+  sched.wait_idle();
+  sched.stop();
+  EXPECT_GT(max_concurrent.load(), 2);
+  EXPECT_EQ(table.held_count(), 64u);
+}
+
+}  // namespace
+}  // namespace psmr::kv

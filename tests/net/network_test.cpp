@@ -1,0 +1,179 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace psmr::net {
+namespace {
+
+using Msg = std::string;
+
+TEST(Network, DeliversPointToPoint) {
+  Network<Msg> net;
+  auto* a = net.register_process(1);
+  auto* b = net.register_process(2);
+  (void)a;
+  EXPECT_TRUE(net.send(1, 2, "hello"));
+  auto env = b->recv();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->from, 1u);
+  EXPECT_EQ(env->to, 2u);
+  EXPECT_EQ(env->msg, "hello");
+}
+
+TEST(Network, UnknownDestinationIsDropped) {
+  Network<Msg> net;
+  net.register_process(1);
+  EXPECT_FALSE(net.send(1, 99, "void"));
+}
+
+TEST(Network, FifoPerLinkWithoutDelays) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  for (int i = 0; i < 100; ++i) net.send(1, 2, std::to_string(i));
+  for (int i = 0; i < 100; ++i) {
+    auto env = b->recv();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->msg, std::to_string(i));
+  }
+}
+
+TEST(Network, DropAllLosesEverything) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  LinkConfig lossy;
+  lossy.drop_probability = 1.0;
+  net.set_link(1, 2, lossy);
+  for (int i = 0; i < 50; ++i) net.send(1, 2, "x");
+  EXPECT_FALSE(b->recv_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_EQ(net.messages_dropped(), 50u);
+}
+
+TEST(Network, PartialDropLosesSome) {
+  Network<Msg> net(/*seed=*/7);
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  LinkConfig lossy;
+  lossy.drop_probability = 0.5;
+  net.set_link(1, 2, lossy);
+  for (int i = 0; i < 1000; ++i) net.send(1, 2, "x");
+  const std::uint64_t dropped = net.messages_dropped();
+  EXPECT_GT(dropped, 350u);
+  EXPECT_LT(dropped, 650u);
+  // Everything not dropped is delivered.
+  std::size_t received = 0;
+  while (b->recv_for(std::chrono::milliseconds(10)).has_value()) ++received;
+  EXPECT_EQ(received, 1000u - dropped);
+}
+
+TEST(Network, DuplicationDeliversTwice) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  LinkConfig dup;
+  dup.duplicate_probability = 1.0;
+  net.set_link(1, 2, dup);
+  net.send(1, 2, "x");
+  EXPECT_TRUE(b->recv_for(std::chrono::milliseconds(100)).has_value());
+  EXPECT_TRUE(b->recv_for(std::chrono::milliseconds(100)).has_value());
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
+TEST(Network, DelayedDeliveryArrivesLater) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  LinkConfig slow;
+  slow.min_delay_us = 20'000;  // 20 ms
+  slow.max_delay_us = 20'000;
+  net.set_link(1, 2, slow);
+  const auto t0 = std::chrono::steady_clock::now();
+  net.send(1, 2, "late");
+  auto env = b->recv();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(15));
+}
+
+TEST(Network, DelayedMessagesRespectDeadlineOrder) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  LinkConfig slow;
+  slow.min_delay_us = 30'000;
+  slow.max_delay_us = 30'000;
+  net.set_link(1, 2, slow);
+  net.send(1, 2, "first");
+  net.send(1, 2, "second");
+  EXPECT_EQ(b->recv()->msg, "first");
+  EXPECT_EQ(b->recv()->msg, "second");
+}
+
+TEST(Network, LinkDownBlocksTraffic) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  net.set_link_up(1, 2, false);
+  net.send(1, 2, "lost");
+  EXPECT_FALSE(b->recv_for(std::chrono::milliseconds(30)).has_value());
+  net.set_link_up(1, 2, true);
+  net.send(1, 2, "found");
+  EXPECT_EQ(b->recv()->msg, "found");
+}
+
+TEST(Network, IsolationSilencesProcess) {
+  Network<Msg> net;
+  auto* a = net.register_process(1);
+  auto* b = net.register_process(2);
+  net.isolate(2, true);
+  net.send(1, 2, "to-isolated");
+  net.send(2, 1, "from-isolated");
+  EXPECT_FALSE(b->recv_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_FALSE(a->recv_for(std::chrono::milliseconds(20)).has_value());
+  net.isolate(2, false);
+  net.send(1, 2, "back");
+  EXPECT_EQ(b->recv()->msg, "back");
+}
+
+TEST(Network, ShutdownWakesBlockedReceivers) {
+  Network<Msg> net;
+  auto* a = net.register_process(1);
+  std::thread t([&] { EXPECT_FALSE(a->recv().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net.shutdown();
+  t.join();
+}
+
+TEST(Network, SendToAllFansOut) {
+  Network<Msg> net;
+  net.register_process(1);
+  auto* b = net.register_process(2);
+  auto* c = net.register_process(3);
+  net.send_to_all(1, {2, 3}, "fanout");
+  EXPECT_EQ(b->recv()->msg, "fanout");
+  EXPECT_EQ(c->recv()->msg, "fanout");
+}
+
+TEST(Network, ConcurrentSendersAllDelivered) {
+  Network<int> net;
+  net.register_process(1);
+  net.register_process(2);
+  auto* sink = net.register_process(3);
+  std::thread t1([&] {
+    for (int i = 0; i < 5000; ++i) net.send(1, 3, i);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 5000; ++i) net.send(2, 3, i);
+  });
+  t1.join();
+  t2.join();
+  std::size_t received = 0;
+  while (sink->recv_for(std::chrono::milliseconds(10)).has_value()) ++received;
+  EXPECT_EQ(received, 10'000u);
+}
+
+}  // namespace
+}  // namespace psmr::net

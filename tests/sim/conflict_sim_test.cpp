@@ -1,0 +1,125 @@
+#include "sim/conflict_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/analytic.hpp"
+
+namespace psmr::sim {
+namespace {
+
+TEST(Analytic, ReproducesTableOne) {
+  // Every cell of the paper's Table I, to within rounding of the published
+  // two-decimal percentages plus simulation noise (~0.15 pp).
+  struct Cell {
+    std::size_t bits;
+    std::size_t graph;
+    std::size_t batch;
+    double paper_pct;
+  };
+  const Cell cells[] = {
+      {102400, 1, 100, 9.29},   {102400, 1, 200, 32.37},
+      {102400, 5, 100, 38.69},  {102400, 5, 200, 85.85},
+      {102400, 7, 100, 49.50},  {102400, 7, 200, 93.52},
+      {1024000, 1, 100, 0.96},  {1024000, 1, 200, 3.85},
+      {1024000, 5, 100, 4.75},  {1024000, 5, 200, 17.78},
+      {1024000, 7, 100, 6.61},  {1024000, 7, 200, 23.95},
+  };
+  for (const Cell& c : cells) {
+    const double model = conflict_rate(c.bits, c.batch, c.graph) * 100.0;
+    EXPECT_NEAR(model, c.paper_pct, 0.30)
+        << "bits=" << c.bits << " graph=" << c.graph << " batch=" << c.batch;
+  }
+}
+
+TEST(Analytic, MonotoneInBatchAndGraphSize) {
+  EXPECT_LT(conflict_rate(102400, 100, 1), conflict_rate(102400, 200, 1));
+  EXPECT_LT(conflict_rate(102400, 100, 1), conflict_rate(102400, 100, 5));
+  EXPECT_LT(conflict_rate(102400, 100, 5), conflict_rate(102400, 100, 7));
+  EXPECT_GT(conflict_rate(102400, 100, 1), conflict_rate(1024000, 100, 1));
+}
+
+TEST(Analytic, BitProbabilityBasics) {
+  EXPECT_NEAR(bit_set_probability(1000, 1), 1.0 / 1000, 1e-9);
+  EXPECT_GT(bit_set_probability(1000, 500), 0.35);
+  EXPECT_LT(bit_set_probability(1000, 500), 0.45);
+}
+
+TEST(ConflictSim, MatchesAnalyticModel) {
+  // Scaled-down iteration counts keep the test fast; tolerance covers the
+  // resulting sampling noise.
+  struct Case {
+    std::size_t bits;
+    std::size_t graph;
+    std::size_t batch;
+  };
+  for (const Case& c : {Case{102400, 1, 100}, Case{102400, 5, 100}, Case{102400, 1, 200},
+                        Case{1024000, 5, 200}}) {
+    ConflictSimConfig cfg;
+    cfg.bitmap_bits = c.bits;
+    cfg.graph_size = c.graph;
+    cfg.batch_size = c.batch;
+    cfg.iterations = 20'000;
+    cfg.seed = 7;
+    const auto result = run_conflict_sim(cfg);
+    const double expected = conflict_rate(c.bits, c.batch, c.graph);
+    EXPECT_NEAR(result.conflict_rate(), expected, 0.02)
+        << "bits=" << c.bits << " graph=" << c.graph << " batch=" << c.batch;
+  }
+}
+
+TEST(ConflictSim, PairwiseRateMatchesPairwiseModel) {
+  ConflictSimConfig cfg;
+  cfg.bitmap_bits = 102400;
+  cfg.graph_size = 5;
+  cfg.batch_size = 100;
+  cfg.iterations = 20'000;
+  const auto result = run_conflict_sim(cfg);
+  EXPECT_NEAR(result.pairwise_rate(), pairwise_conflict_probability(102400, 100), 0.01);
+}
+
+TEST(ConflictSim, DeterministicUnderSeed) {
+  ConflictSimConfig cfg;
+  cfg.iterations = 5'000;
+  cfg.seed = 42;
+  const auto a = run_conflict_sim(cfg);
+  const auto b = run_conflict_sim(cfg);
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.pairwise_conflicts, b.pairwise_conflicts);
+}
+
+TEST(ConflictSim, MoreHashesRaiseConflictRate) {
+  // §VI-B: intersection-based detection degrades with k > 1.
+  ConflictSimConfig one;
+  one.bitmap_bits = 102400;
+  one.batch_size = 100;
+  one.graph_size = 1;
+  one.iterations = 20'000;
+  ConflictSimConfig four = one;
+  four.hashes = 4;
+  EXPECT_LT(run_conflict_sim(one).conflict_rate(), run_conflict_sim(four).conflict_rate());
+}
+
+TEST(ConflictSim, TinyBitmapSaturates) {
+  ConflictSimConfig cfg;
+  cfg.bitmap_bits = 8;
+  cfg.batch_size = 100;
+  cfg.graph_size = 1;
+  cfg.iterations = 2'000;
+  EXPECT_GT(run_conflict_sim(cfg).conflict_rate(), 0.99);
+}
+
+TEST(ConflictSim, CountsAreConsistent) {
+  ConflictSimConfig cfg;
+  cfg.iterations = 3'000;
+  cfg.graph_size = 5;
+  const auto r = run_conflict_sim(cfg);
+  EXPECT_EQ(r.iterations, 3'000u);
+  EXPECT_LE(r.conflicts, r.iterations);
+  EXPECT_LE(r.pairwise_conflicts, r.pairwise_tests);
+  // Window warm-up: first iterations see fewer than graph_size peers.
+  EXPECT_LE(r.pairwise_tests, r.iterations * 5);
+  EXPECT_GE(r.pairwise_tests, (r.iterations - 5) * 5);
+}
+
+}  // namespace
+}  // namespace psmr::sim

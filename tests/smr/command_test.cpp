@@ -1,0 +1,71 @@
+#include "smr/command.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psmr::smr {
+namespace {
+
+Command make(OpType t, Key k) {
+  Command c;
+  c.type = t;
+  c.key = k;
+  return c;
+}
+
+TEST(Command, ReadWriteClassification) {
+  EXPECT_TRUE(make(OpType::kRead, 1).is_read());
+  EXPECT_FALSE(make(OpType::kRead, 1).is_write());
+  for (OpType t : {OpType::kCreate, OpType::kUpdate, OpType::kRemove}) {
+    EXPECT_TRUE(make(t, 1).is_write());
+    EXPECT_FALSE(make(t, 1).is_read());
+  }
+}
+
+TEST(Conflict, TwoReadsSameKeyAreIndependent) {
+  // §IV: "two read commands are independent".
+  EXPECT_FALSE(commands_conflict(make(OpType::kRead, 7), make(OpType::kRead, 7)));
+}
+
+TEST(Conflict, ReadAndWriteSameKeyConflict) {
+  // §IV: "a read and an update command on the same variable are dependent".
+  EXPECT_TRUE(commands_conflict(make(OpType::kRead, 7), make(OpType::kUpdate, 7)));
+  EXPECT_TRUE(commands_conflict(make(OpType::kUpdate, 7), make(OpType::kRead, 7)));
+}
+
+TEST(Conflict, TwoWritesSameKeyConflict) {
+  EXPECT_TRUE(commands_conflict(make(OpType::kUpdate, 7), make(OpType::kUpdate, 7)));
+  EXPECT_TRUE(commands_conflict(make(OpType::kCreate, 7), make(OpType::kRemove, 7)));
+}
+
+TEST(Conflict, DifferentKeysNeverConflict) {
+  for (OpType a : {OpType::kCreate, OpType::kRead, OpType::kUpdate, OpType::kRemove}) {
+    for (OpType b : {OpType::kCreate, OpType::kRead, OpType::kUpdate, OpType::kRemove}) {
+      EXPECT_FALSE(commands_conflict(make(a, 1), make(b, 2)));
+    }
+  }
+}
+
+TEST(Conflict, IsSymmetric) {
+  for (OpType a : {OpType::kCreate, OpType::kRead, OpType::kUpdate, OpType::kRemove}) {
+    for (OpType b : {OpType::kCreate, OpType::kRead, OpType::kUpdate, OpType::kRemove}) {
+      EXPECT_EQ(commands_conflict(make(a, 5), make(b, 5)),
+                commands_conflict(make(b, 5), make(a, 5)));
+    }
+  }
+}
+
+TEST(Strings, OpTypeNames) {
+  EXPECT_STREQ(to_string(OpType::kCreate), "create");
+  EXPECT_STREQ(to_string(OpType::kRead), "read");
+  EXPECT_STREQ(to_string(OpType::kUpdate), "update");
+  EXPECT_STREQ(to_string(OpType::kRemove), "remove");
+}
+
+TEST(Strings, StatusNames) {
+  EXPECT_STREQ(to_string(Status::kOk), "ok");
+  EXPECT_STREQ(to_string(Status::kNotFound), "not_found");
+  EXPECT_STREQ(to_string(Status::kAlreadyExists), "already_exists");
+}
+
+}  // namespace
+}  // namespace psmr::smr

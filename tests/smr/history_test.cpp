@@ -1,0 +1,170 @@
+#include "smr/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psmr::smr {
+namespace {
+
+Command cmd(OpType t, Key k, Value v = 0) {
+  Command c;
+  c.type = t;
+  c.key = k;
+  c.value = v;
+  return c;
+}
+
+Response resp(Status s, Value v = 0) {
+  Response r;
+  r.status = s;
+  r.value = v;
+  return r;
+}
+
+HistoryOp op(OpType t, Key k, Value v, Status s, Value rv, std::uint64_t inv,
+             std::uint64_t res) {
+  return HistoryOp{cmd(t, k, v), resp(s, rv), inv, res};
+}
+
+TEST(Recorder, TracksInvocationsAndCompletions) {
+  HistoryRecorder rec;
+  const auto t1 = rec.begin(cmd(OpType::kUpdate, 1, 10), 100);
+  const auto t2 = rec.begin(cmd(OpType::kRead, 1), 110);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_TRUE(rec.snapshot().empty());  // nothing completed yet
+  rec.complete(t1, resp(Status::kOk), 200);
+  EXPECT_EQ(rec.snapshot().size(), 1u);
+  rec.complete(t2, resp(Status::kOk, 10), 210);
+  const auto ops = rec.snapshot();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].invoked_ns, 100u);
+  EXPECT_EQ(ops[0].responded_ns, 200u);
+}
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_linearizable({}).ok);
+}
+
+TEST(Checker, SequentialHistoryIsLinearizable) {
+  std::vector<HistoryOp> h = {
+      op(OpType::kCreate, 1, 10, Status::kOk, 0, 0, 10),
+      op(OpType::kRead, 1, 0, Status::kOk, 10, 20, 30),
+      op(OpType::kUpdate, 1, 20, Status::kOk, 0, 40, 50),
+      op(OpType::kRead, 1, 0, Status::kOk, 20, 60, 70),
+      op(OpType::kRemove, 1, 0, Status::kOk, 0, 80, 90),
+      op(OpType::kRead, 1, 0, Status::kNotFound, 0, 100, 110),
+  };
+  EXPECT_TRUE(check_linearizable(h).ok);
+}
+
+TEST(Checker, StaleReadIsNotLinearizable) {
+  // Update completes before the read starts, yet the read returns the old
+  // value — a classic linearizability violation.
+  std::vector<HistoryOp> h = {
+      op(OpType::kUpdate, 1, 1, Status::kOk, 0, 0, 10),
+      op(OpType::kUpdate, 1, 2, Status::kOk, 0, 20, 30),
+      op(OpType::kRead, 1, 0, Status::kOk, 1, 40, 50),
+  };
+  const auto result = check_linearizable(h);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.key, 1u);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST(Checker, ConcurrentReadMayReturnEitherValue) {
+  // The read overlaps the second update: both old and new values are legal.
+  for (Value read_value : {Value{1}, Value{2}}) {
+    std::vector<HistoryOp> h = {
+        op(OpType::kUpdate, 1, 1, Status::kOk, 0, 0, 10),
+        op(OpType::kUpdate, 1, 2, Status::kOk, 0, 20, 60),
+        op(OpType::kRead, 1, 0, Status::kOk, read_value, 30, 50),
+    };
+    EXPECT_TRUE(check_linearizable(h).ok) << "read=" << read_value;
+  }
+}
+
+TEST(Checker, ReadCannotReturnNeverWrittenValue) {
+  std::vector<HistoryOp> h = {
+      op(OpType::kUpdate, 1, 1, Status::kOk, 0, 0, 10),
+      op(OpType::kRead, 1, 0, Status::kOk, 99, 20, 30),
+  };
+  EXPECT_FALSE(check_linearizable(h).ok);
+}
+
+TEST(Checker, CreateSemanticsEnforced) {
+  // Second create of a live key must report AlreadyExists.
+  std::vector<HistoryOp> ok = {
+      op(OpType::kCreate, 5, 1, Status::kOk, 0, 0, 10),
+      op(OpType::kCreate, 5, 2, Status::kAlreadyExists, 0, 20, 30),
+  };
+  EXPECT_TRUE(check_linearizable(ok).ok);
+  std::vector<HistoryOp> bad = {
+      op(OpType::kCreate, 5, 1, Status::kOk, 0, 0, 10),
+      op(OpType::kCreate, 5, 2, Status::kOk, 0, 20, 30),
+  };
+  EXPECT_FALSE(check_linearizable(bad).ok);
+}
+
+TEST(Checker, RemoveSemanticsEnforced) {
+  std::vector<HistoryOp> bad = {
+      op(OpType::kRemove, 5, 0, Status::kOk, 0, 0, 10),  // nothing to remove
+  };
+  EXPECT_FALSE(check_linearizable(bad).ok);
+  std::vector<HistoryOp> ok = {
+      op(OpType::kRemove, 5, 0, Status::kNotFound, 0, 0, 10),
+  };
+  EXPECT_TRUE(check_linearizable(ok).ok);
+}
+
+TEST(Checker, DisjointKeysCheckedIndependently) {
+  // A violation on key 2 is reported even among many fine key-1 ops.
+  std::vector<HistoryOp> h = {
+      op(OpType::kUpdate, 1, 1, Status::kOk, 0, 0, 10),
+      op(OpType::kRead, 1, 0, Status::kOk, 1, 20, 30),
+      op(OpType::kUpdate, 2, 7, Status::kOk, 0, 0, 10),
+      op(OpType::kRead, 2, 0, Status::kOk, 8, 20, 30),  // impossible value
+  };
+  const auto result = check_linearizable(h);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.key, 2u);
+}
+
+TEST(Checker, ConcurrentWritesAnyOrderButReadsPickOne) {
+  // Two concurrent updates; later reads agree with ONE ordering.
+  std::vector<HistoryOp> consistent = {
+      op(OpType::kUpdate, 1, 10, Status::kOk, 0, 0, 100),
+      op(OpType::kUpdate, 1, 20, Status::kOk, 0, 0, 100),
+      op(OpType::kRead, 1, 0, Status::kOk, 20, 200, 210),
+      op(OpType::kRead, 1, 0, Status::kOk, 20, 220, 230),
+  };
+  EXPECT_TRUE(check_linearizable(consistent).ok);
+  std::vector<HistoryOp> flip_flop = {
+      op(OpType::kUpdate, 1, 10, Status::kOk, 0, 0, 100),
+      op(OpType::kUpdate, 1, 20, Status::kOk, 0, 0, 100),
+      op(OpType::kRead, 1, 0, Status::kOk, 20, 200, 210),
+      op(OpType::kRead, 1, 0, Status::kOk, 10, 220, 230),  // went back in time
+  };
+  EXPECT_FALSE(check_linearizable(flip_flop).ok);
+}
+
+TEST(Checker, RejectsOversizedSubHistories) {
+  std::vector<HistoryOp> h;
+  for (int i = 0; i < 70; ++i) {
+    h.push_back(op(OpType::kUpdate, 1, i, Status::kOk, 0, i * 10, i * 10 + 5));
+  }
+  const auto result = check_linearizable(h, 64);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("too large"), std::string::npos);
+}
+
+TEST(Checker, DeepConcurrencyStillDecidable) {
+  // 12 fully concurrent updates + a read: backtracking must handle it.
+  std::vector<HistoryOp> h;
+  for (int i = 1; i <= 12; ++i) {
+    h.push_back(op(OpType::kUpdate, 1, i, Status::kOk, 0, 0, 1000));
+  }
+  h.push_back(op(OpType::kRead, 1, 0, Status::kOk, 7, 2000, 2010));
+  EXPECT_TRUE(check_linearizable(h).ok);
+}
+
+}  // namespace
+}  // namespace psmr::smr

@@ -1,0 +1,118 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace psmr::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.p50(), 42u);
+  EXPECT_EQ(h.p999(), 42u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 64 land in unit-width buckets.
+  Histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.value_at_quantile(0.5), 31u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) h.record(1000 + rng.next_below(9000));
+  // Uniform [1000, 10000): p50 ≈ 5500, p99 ≈ 9910.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5500.0, 5500.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9910.0, 9910.0 * 0.05);
+}
+
+TEST(Histogram, LargeValuesBounded) {
+  Histogram h;
+  h.record(1ull << 40);
+  h.record(1ull << 50);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1ull << 50);
+  EXPECT_GE(h.value_at_quantile(1.0), 1ull << 50 >> 1);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, RecordNWeighted) {
+  Histogram h;
+  h.record_n(5, 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.p50(), 5u);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) a.record(100);
+  for (int i = 0; i < 1000; ++i) b.record(10'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 10'000u);
+  EXPECT_LE(a.p50(), 110u);
+  EXPECT_GE(a.p999(), 9000u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(7);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+}
+
+TEST(Histogram, MonotoneQuantiles) {
+  Histogram h;
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 50'000; ++i) h.record(rng.next_below(1'000'000));
+  std::uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t v = h.value_at_quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(RelativeErrorBound, EveryValueWithinBucketError) {
+  // The log-bucketed design promises <= ~1/32 relative error above 64.
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    Histogram h;
+    const std::uint64_t v = 64 + rng.next_below(1ull << 40);
+    h.record(v);
+    const std::uint64_t q = h.value_at_quantile(1.0);
+    EXPECT_GE(q, v - v / 16);
+    EXPECT_LE(q, v);  // quantile is clamped to observed max
+  }
+}
+
+}  // namespace
+}  // namespace psmr::stats

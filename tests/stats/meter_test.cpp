@@ -1,0 +1,100 @@
+#include "stats/meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace psmr::stats {
+namespace {
+
+TEST(ThroughputMeter, CountsAcrossThreads) {
+  ThroughputMeter m;
+  m.start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) m.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  m.stop();
+  EXPECT_EQ(m.count(), 40'000u);
+  EXPECT_GT(m.rate(), 0.0);
+}
+
+TEST(ThroughputMeter, RateReflectsWindow) {
+  ThroughputMeter m;
+  m.start();
+  m.add(1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  m.stop();
+  const double r = m.rate();
+  EXPECT_GT(r, 1000.0);        // 1000 events in well under a second
+  EXPECT_LT(r, 1000.0 / 0.04); // but window was at least ~40 ms
+}
+
+TEST(ThroughputMeter, ResetZeroes) {
+  ThroughputMeter m;
+  m.start();
+  m.add(5);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    const double y = std::cos(i) * 3 + 50;
+    a.add(x);
+    b.add(y);
+    combined.add(x);
+    combined.add(y);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+}  // namespace
+}  // namespace psmr::stats

@@ -1,0 +1,89 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace psmr::stats {
+namespace {
+
+std::string render(const Table& t, bool csv = false) {
+  std::FILE* f = std::tmpfile();
+  if (csv) t.print_csv(f);
+  else t.print(f);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  return out;
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"config", "throughput"});
+  t.add_row({"cbase", "33"});
+  t.add_row({"bitmap-200", "854"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("config"), std::string::npos);
+  EXPECT_NE(out.find("bitmap-200"), std::string::npos);
+  EXPECT_NE(out.find("854"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  const std::string out = render(t);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, ExtraCellsDropped) {
+  Table t({"a"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = render(t);
+  EXPECT_EQ(out.find("2"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string out = render(t, /*csv=*/true);
+  EXPECT_EQ(out, "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"config", "v"});
+  t.add_row({"CBASE, batch size=1", "33"});
+  t.add_row({"say \"hi\"", "1"});
+  const std::string out = render(t, /*csv=*/true);
+  EXPECT_NE(out.find("\"CBASE, batch size=1\",33"), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\",1"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::fmt_int(123456), "123456");
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"name", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "2"});
+  const std::string out = render(t);
+  // Every data line has the same width.
+  std::size_t first_len = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (first_len == 0) first_len = len;
+    else EXPECT_EQ(len, first_len);
+    pos = eol + 1;
+  }
+}
+
+}  // namespace
+}  // namespace psmr::stats

@@ -1,0 +1,128 @@
+#include "util/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace psmr::util {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap b(1000);
+  EXPECT_EQ(b.size_bits(), 1000u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitmap, SetTestReset) {
+  Bitmap b(129);  // spans three words, last one partial
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(128);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(128));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_FALSE(b.test(65));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitmap, SetIsIdempotent) {
+  Bitmap b(64);
+  b.set(7);
+  b.set(7);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitmap, ClearZeroesEverything) {
+  Bitmap b(256);
+  for (std::size_t i = 0; i < 256; i += 3) b.set(i);
+  EXPECT_GT(b.count(), 0u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.size_bits(), 256u);
+}
+
+TEST(Bitmap, IntersectsDetectsSharedBit) {
+  Bitmap a(512), b(512);
+  a.set(100);
+  b.set(101);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_FALSE(b.intersects(a));
+  b.set(100);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(Bitmap, IntersectsEmptyIsFalse) {
+  Bitmap a(64), b(64);
+  EXPECT_FALSE(a.intersects(b));
+  a.set(5);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Bitmap, IntersectionCount) {
+  Bitmap a(300), b(300);
+  for (std::size_t i = 0; i < 300; i += 2) a.set(i);   // evens
+  for (std::size_t i = 0; i < 300; i += 4) b.set(i);   // multiples of 4
+  EXPECT_EQ(a.intersection_count(b), 75u);
+  EXPECT_EQ(b.intersection_count(a), 75u);
+}
+
+TEST(Bitmap, MergeIsUnion) {
+  Bitmap a(128), b(128);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  a.merge(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(3));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Bitmap, EqualityComparesContentAndSize) {
+  Bitmap a(128), b(128), c(64);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitmap, RandomizedIntersectsMatchesIntersectionCount) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bitmap a(1024), b(1024);
+    for (int i = 0; i < 20; ++i) a.set(rng.next_below(1024));
+    for (int i = 0; i < 20; ++i) b.set(rng.next_below(1024));
+    EXPECT_EQ(a.intersects(b), a.intersection_count(b) > 0);
+  }
+}
+
+TEST(Bitmap, WordBoundaryBits) {
+  // Bits adjacent to every word boundary behave independently.
+  Bitmap b(320);
+  for (std::size_t w = 1; w < 5; ++w) {
+    b.set(w * 64 - 1);
+    b.set(w * 64);
+  }
+  EXPECT_EQ(b.count(), 8u);
+  for (std::size_t w = 1; w < 5; ++w) {
+    EXPECT_TRUE(b.test(w * 64 - 1));
+    EXPECT_TRUE(b.test(w * 64));
+    EXPECT_FALSE(b.test(w * 64 + 1));
+  }
+}
+
+}  // namespace
+}  // namespace psmr::util

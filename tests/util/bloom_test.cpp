@@ -1,0 +1,128 @@
+#include "util/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace psmr::util {
+namespace {
+
+TEST(KeyBloom, MembershipHasNoFalseNegatives) {
+  KeyBloom bloom(4096, 1, 0);
+  std::vector<std::uint64_t> keys;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200; ++i) keys.push_back(rng());
+  bloom.add_all(keys);
+  for (std::uint64_t k : keys) EXPECT_TRUE(bloom.may_contain(k));
+}
+
+TEST(KeyBloom, IntersectionHasNoFalseNegatives) {
+  // Property from §V: if two batches share a key, their bitmaps intersect —
+  // for any sizes, any seeds equal on both sides.
+  Xoshiro256 rng(13);
+  for (std::size_t bits : {64u, 1024u, 102400u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      KeyBloom a(bits, 1, 42), b(bits, 1, 42);
+      const std::uint64_t shared = rng();
+      a.add(shared);
+      b.add(shared);
+      for (int i = 0; i < 30; ++i) a.add(rng());
+      for (int i = 0; i < 30; ++i) b.add(rng());
+      EXPECT_TRUE(a.intersects(b)) << "bits=" << bits << " trial=" << trial;
+    }
+  }
+}
+
+TEST(KeyBloom, DisjointLargeFilterRarelyIntersects) {
+  // With m = 1 Mbit and 100 keys per side the analytic false positive rate
+  // is ~1%; in 100 trials we should see mostly non-intersections.
+  Xoshiro256 rng(17);
+  int intersections = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    KeyBloom a(1024000, 1, 0), b(1024000, 1, 0);
+    for (int i = 0; i < 100; ++i) a.add(rng());
+    for (int i = 0; i < 100; ++i) b.add(rng());
+    intersections += a.intersects(b) ? 1 : 0;
+  }
+  EXPECT_LE(intersections, 10);
+}
+
+TEST(KeyBloom, SameSeedSameKeysSameBits) {
+  // Determinism across proxies/replicas: the digest is a pure function of
+  // (keys, config).
+  KeyBloom a(8192, 1, 99), b(8192, 1, 99);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    a.add(k * 7919);
+    b.add(k * 7919);
+  }
+  EXPECT_EQ(a.bitmap(), b.bitmap());
+}
+
+TEST(KeyBloom, DifferentSeedsGiveDifferentBits) {
+  KeyBloom a(8192, 1, 1), b(8192, 1, 2);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    a.add(k);
+    b.add(k);
+  }
+  EXPECT_NE(a.bitmap(), b.bitmap());
+}
+
+TEST(KeyBloom, MultiHashSetsMoreBits) {
+  KeyBloom k1(65536, 1, 0), k4(65536, 4, 0);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    k1.add(k);
+    k4.add(k);
+  }
+  EXPECT_GT(k4.bits_set(), k1.bits_set());
+}
+
+TEST(KeyBloom, MultiHashRaisesIntersectionFalsePositives) {
+  // §VI-B's argument for restricting k to 1: intersection-based conflict
+  // detection gets WORSE with more hash functions.
+  Xoshiro256 rng(23);
+  int fp1 = 0, fp4 = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    KeyBloom a1(20480, 1, 0), b1(20480, 1, 0);
+    KeyBloom a4(20480, 4, 0), b4(20480, 4, 0);
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t ka = rng(), kb = rng();
+      a1.add(ka);
+      a4.add(ka);
+      b1.add(kb);
+      b4.add(kb);
+    }
+    fp1 += a1.intersects(b1) ? 1 : 0;
+    fp4 += a4.intersects(b4) ? 1 : 0;
+  }
+  EXPECT_LT(fp1, fp4);
+}
+
+TEST(KeyBloom, QueryFpRateFormula) {
+  // k=1, n=m·ln2 → fp ≈ 0.5 at the classic optimum for one hash.
+  const double r = KeyBloom::query_fp_rate(1000, 1, 693);
+  EXPECT_NEAR(r, 0.5, 0.01);
+  EXPECT_LT(KeyBloom::query_fp_rate(1'000'000, 1, 100), 1e-3);
+}
+
+TEST(KeyBloom, ClearEmptiesFilter) {
+  KeyBloom b(1024, 1, 0);
+  b.add(123);
+  EXPECT_GT(b.bits_set(), 0u);
+  b.clear();
+  EXPECT_EQ(b.bits_set(), 0u);
+  EXPECT_FALSE(b.may_contain(123));
+}
+
+TEST(KeyBloom, BitIndexStableAcrossInstances) {
+  KeyBloom a(4096, 2, 5), b(4096, 2, 5);
+  for (std::uint64_t k : {0ull, 1ull, ~0ull, 0xdeadbeefull}) {
+    EXPECT_EQ(a.bit_index(k, 0), b.bit_index(k, 0));
+    EXPECT_EQ(a.bit_index(k, 1), b.bit_index(k, 1));
+    EXPECT_NE(a.bit_index(k, 0), a.bit_index(k, 1)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace psmr::util

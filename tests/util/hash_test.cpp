@@ -1,0 +1,73 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace psmr::util {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_EQ(mix64(12345, 7), mix64(12345, 7));
+}
+
+TEST(Mix64, SpreadsSequentialInputs) {
+  // Sequential keys (the disjoint-key workload) must land in distinct
+  // buckets: no collisions among 100k consecutive inputs.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100'000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 100'000u);
+}
+
+TEST(Mix64, AvalancheFlipsAboutHalfTheBits) {
+  int total_flips = 0;
+  const int trials = 1000;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const std::uint64_t a = mix64(i);
+    const std::uint64_t b = mix64(i ^ 1);  // one input bit flipped
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 28.0);
+  EXPECT_LT(avg, 36.0);
+}
+
+TEST(Mix64, SeedsAreIndependent) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 1000; ++s) seen.insert(mix64(42, s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Fnv1a, KnownVectors) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(ReduceRange, StaysInRange) {
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull, 102400ull}) {
+    for (std::uint64_t h = 0; h < 1000; ++h) {
+      EXPECT_LT(reduce_range(mix64(h), n), n);
+    }
+  }
+}
+
+TEST(ReduceRange, RoughlyUniform) {
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kSamples = 160'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[reduce_range(mix64(static_cast<std::uint64_t>(i)), kBuckets)];
+  }
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace psmr::util

@@ -1,0 +1,79 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace psmr::util {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(1), b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, SeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, NoShortCycles) {
+  Xoshiro256 rng(5);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 100'000; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 100'000u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowBounds) {
+  Xoshiro256 rng(4);
+  for (std::uint64_t n : {1ull, 3ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Xoshiro256, NextBelowUniform) {
+  Xoshiro256 rng(6);
+  constexpr std::uint64_t kBuckets = 10;
+  int counts[kBuckets] = {};
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, NextBoolProbability) {
+  Xoshiro256 rng(8);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.next_bool(0.2) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.2, 0.01);
+}
+
+TEST(Xoshiro256, ZeroAndOneProbabilitiesAreExact) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace psmr::util

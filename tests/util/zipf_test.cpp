@@ -1,0 +1,71 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace psmr::util {
+namespace {
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfGenerator zipf(1000, 0.99);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) ASSERT_LT(zipf(rng), 1000u);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Xoshiro256 rng(2);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kSamples / 10, kSamples / 10 * 0.1);
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  ZipfGenerator zipf(1'000'000, 0.99);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(16, 0);
+  int tail = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t r = zipf(rng);
+    if (r < 16) ++counts[r];
+    else ++tail;
+  }
+  // Monotone decreasing head (allowing sampling noise between neighbors).
+  EXPECT_GT(counts[0], counts[2]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], kSamples / 20);  // rank 0 carries real mass
+}
+
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  // For theta = 1-ish, f(rank k) / f(rank 2k) ≈ 2^theta.
+  const double theta = 0.8;
+  ZipfGenerator zipf(100'000, theta);
+  Xoshiro256 rng(4);
+  std::vector<double> counts(64, 0);
+  for (int i = 0; i < 2'000'000; ++i) {
+    const std::uint64_t r = zipf(rng);
+    if (r < 64) counts[r] += 1;
+  }
+  const double ratio = counts[1] / counts[3];  // ranks 2 and 4 (1-based)
+  EXPECT_NEAR(ratio, std::pow(2.0, theta), 0.15);
+}
+
+TEST(Zipf, HugeUniverseWorks) {
+  // Table-I scale: 10^9 keys must sample in O(1) without tables.
+  ZipfGenerator zipf(1'000'000'000, 0.99);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10'000; ++i) ASSERT_LT(zipf(rng), 1'000'000'000u);
+}
+
+TEST(Zipf, SingleElementUniverse) {
+  ZipfGenerator zipf(1, 0.99);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace psmr::util
