@@ -240,7 +240,9 @@ bench/CMakeFiles/fig4_realtime_onecore.dir/fig4_realtime_onecore.cpp.o: \
  /root/repo/src/kvstore/kvstore.hpp /root/repo/src/util/spin.hpp \
  /root/repo/src/smr/local_orderer.hpp /root/repo/src/smr/proxy.hpp \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/smr/replica.hpp \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/rng.hpp \
+ /root/repo/src/smr/replica.hpp /root/repo/src/smr/session.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/workload/generator.hpp /usr/include/c++/12/optional \
- /root/repo/src/util/rng.hpp /root/repo/src/util/zipf.hpp \
- /root/repo/src/stats/table.hpp
+ /root/repo/src/util/zipf.hpp /root/repo/src/stats/table.hpp

@@ -236,4 +236,6 @@ examples/CMakeFiles/lock_manager.dir/lock_manager.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/stats/histogram.hpp \
- /root/repo/src/util/rng.hpp
+ /root/repo/src/smr/session.hpp /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/rng.hpp

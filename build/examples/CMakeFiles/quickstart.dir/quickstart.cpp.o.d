@@ -232,11 +232,14 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/thread /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/stats/histogram.hpp /root/repo/src/util/time.hpp \
- /root/repo/src/smr/replica.hpp /root/repo/src/core/scheduler.hpp \
+ /root/repo/src/stats/histogram.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/util/time.hpp /root/repo/src/smr/replica.hpp \
+ /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/dependency_graph.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/conflict.hpp \
- /root/repo/src/stats/meter.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/stats/meter.hpp /root/repo/src/smr/session.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

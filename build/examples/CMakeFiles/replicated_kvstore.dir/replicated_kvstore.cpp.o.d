@@ -250,4 +250,7 @@ examples/CMakeFiles/replicated_kvstore.dir/replicated_kvstore.cpp.o: \
  /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/dependency_graph.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp
+ /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp \
+ /root/repo/src/smr/session.hpp /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

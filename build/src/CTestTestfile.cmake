@@ -13,3 +13,4 @@ subdirs("core")
 subdirs("kvstore")
 subdirs("workload")
 subdirs("sim")
+subdirs("testing")

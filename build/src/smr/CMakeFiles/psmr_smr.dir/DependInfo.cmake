@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/smr/batch.cpp" "src/smr/CMakeFiles/psmr_smr.dir/batch.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/batch.cpp.o.d"
   "/root/repo/src/smr/codec.cpp" "src/smr/CMakeFiles/psmr_smr.dir/codec.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/codec.cpp.o.d"
   "/root/repo/src/smr/command.cpp" "src/smr/CMakeFiles/psmr_smr.dir/command.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/command.cpp.o.d"
+  "/root/repo/src/smr/session.cpp" "src/smr/CMakeFiles/psmr_smr.dir/session.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/session.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/psmr_smr.dir/codec.cpp.o.d"
   "CMakeFiles/psmr_smr.dir/command.cpp.o"
   "CMakeFiles/psmr_smr.dir/command.cpp.o.d"
+  "CMakeFiles/psmr_smr.dir/session.cpp.o"
+  "CMakeFiles/psmr_smr.dir/session.cpp.o.d"
   "libpsmr_smr.a"
   "libpsmr_smr.pdb"
 )

@@ -328,4 +328,5 @@ tests/CMakeFiles/integration_full_stack_test.dir/integration/full_stack_test.cpp
  /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/dependency_graph.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp
+ /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp \
+ /root/repo/src/smr/session.hpp

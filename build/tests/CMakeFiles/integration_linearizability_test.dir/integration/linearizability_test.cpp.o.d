@@ -312,9 +312,10 @@ tests/CMakeFiles/integration_linearizability_test.dir/integration/linearizabilit
  /root/repo/src/smr/proxy.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/stats/histogram.hpp /root/repo/src/util/time.hpp \
- /root/repo/src/smr/replica.hpp /root/repo/src/core/scheduler.hpp \
+ /root/repo/src/stats/histogram.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/util/time.hpp /root/repo/src/smr/replica.hpp \
+ /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/dependency_graph.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp \
- /root/repo/src/util/rng.hpp
+ /root/repo/src/smr/session.hpp

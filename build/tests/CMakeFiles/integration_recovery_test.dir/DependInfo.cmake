@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/smr/CMakeFiles/psmr_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/kvstore/CMakeFiles/psmr_kvstore.dir/DependInfo.cmake"
   "/root/repo/build/src/consensus/CMakeFiles/psmr_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/psmr_testing.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/psmr_core.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/psmr_stats.dir/DependInfo.cmake"

@@ -323,4 +323,5 @@ tests/CMakeFiles/integration_recovery_test.dir/integration/recovery_test.cpp.o: 
  /root/repo/src/core/dependency_graph.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp \
- /root/repo/src/stats/histogram.hpp
+ /root/repo/src/stats/histogram.hpp /root/repo/src/smr/session.hpp \
+ /root/repo/src/testing/fault_schedule.hpp

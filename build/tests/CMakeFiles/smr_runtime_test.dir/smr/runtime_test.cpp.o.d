@@ -310,12 +310,12 @@ tests/CMakeFiles/smr_runtime_test.dir/smr/runtime_test.cpp.o: \
  /usr/include/c++/12/cstring /root/repo/src/smr/proxy.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/stats/histogram.hpp /root/repo/src/util/time.hpp \
- /root/repo/src/smr/replica.hpp /root/repo/src/core/scheduler.hpp \
+ /root/repo/src/stats/histogram.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/util/time.hpp /root/repo/src/smr/replica.hpp \
+ /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/dependency_graph.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/conflict.hpp /root/repo/src/stats/meter.hpp \
- /root/repo/src/smr/sequential_replica.hpp \
+ /root/repo/src/smr/session.hpp /root/repo/src/smr/sequential_replica.hpp \
  /root/repo/src/util/blocking_queue.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/util/rng.hpp
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

@@ -166,6 +166,28 @@ void PaxosGroup::crash_proposer(unsigned index) {
   proposer_roles_[index]->crash();
 }
 
+std::vector<net::ProcessId> PaxosGroup::all_processes() const {
+  std::lock_guard lk(mu_);
+  std::vector<net::ProcessId> ids;
+  ids.push_back(kClientId);
+  for (unsigned i = 0; i < config_.proposers; ++i) ids.push_back(proposer_id(i));
+  for (unsigned i = 0; i < config_.acceptors; ++i) ids.push_back(acceptor_id(i));
+  for (unsigned i = 0; i < learner_roles_.size(); ++i) {
+    ids.push_back(learner_id(i));
+  }
+  return ids;
+}
+
+void PaxosGroup::set_partition(const std::vector<net::ProcessId>& island, bool up) {
+  const std::vector<net::ProcessId> everyone = all_processes();
+  for (net::ProcessId inside : island) {
+    for (net::ProcessId other : everyone) {
+      if (std::find(island.begin(), island.end(), other) != island.end()) continue;
+      network_->set_link_up(inside, other, up);
+    }
+  }
+}
+
 int PaxosGroup::leader_index() const {
   for (unsigned i = 0; i < proposer_roles_.size(); ++i) {
     if (proposer_roles_[i]->is_leader()) return static_cast<int>(i);

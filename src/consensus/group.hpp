@@ -108,13 +108,30 @@ class PaxosGroup final : public AtomicBroadcast {
   /// from_instance >= horizon).
   void truncate_log_below(InstanceId horizon);
 
-  // ---- fault injection (tests, examples) ----
+  // ---- fault injection (tests, examples, chaos schedules) ----
   /// Crashes an acceptor (stops its thread and silences its links).
   void crash_acceptor(unsigned index);
   /// Crashes a proposer; if it was the leader, a standby takes over.
   void crash_proposer(unsigned index);
   /// Network access for custom fault plans.
   PaxosNetwork& network() { return *network_; }
+
+  /// Process ids of the group's roles — lets scripted fault schedules cut
+  /// or degrade specific links through network() without knowing the id
+  /// layout.
+  net::ProcessId proposer_process(unsigned i) const { return proposer_id(i); }
+  net::ProcessId acceptor_process(unsigned i) const { return acceptor_id(i); }
+  net::ProcessId learner_process(unsigned i) const { return learner_id(i); }
+  net::ProcessId client_process() const { return kClientId; }
+
+  /// Every process id currently registered by this group (client, proposers,
+  /// acceptors, learners added so far).
+  std::vector<net::ProcessId> all_processes() const;
+
+  /// Cuts (up=false) or heals (up=true) every link between `island` and the
+  /// rest of the group — a scripted network partition. Links WITHIN the
+  /// island and within the remainder stay untouched.
+  void set_partition(const std::vector<net::ProcessId>& island, bool up);
 
   // ---- observability ----
   int leader_index() const;  // -1 if none currently claims leadership
@@ -137,7 +154,7 @@ class PaxosGroup final : public AtomicBroadcast {
   std::vector<std::unique_ptr<Learner>> learner_roles_;
   std::vector<DeliverFn> pending_subscribers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   // Requests not yet observed decided; the client thread retransmits them
   // until a Decide naming their id arrives (fair-lossy links demand sender
   // persistence — §II: "if a sender sends a message enough times, a correct

@@ -47,6 +47,7 @@ DependencyGraph::Node* DependencyGraph::take_oldest_free() {
   ready_.erase(it);
   PSMR_DCHECK(!node->taken && node->pending_bdeps == 0);
   node->taken = true;  // line 36: no other thread takes it
+  ++num_taken_;
   return node;
 }
 
@@ -64,6 +65,7 @@ std::size_t DependencyGraph::remove(Node* node) {
     }
   }
   num_edges_ -= node->deps.size();
+  --num_taken_;
   nodes_.erase(node->self);  // line 42
   ++removed_;
   return freed;
@@ -79,6 +81,7 @@ void DependencyGraph::remove_newest() {
     num_edges_ -= erased;
   }
   ready_.erase(last.seq);
+  if (last.taken) --num_taken_;
   nodes_.pop_back();
   ++removed_;
 }
@@ -133,11 +136,10 @@ void DependencyGraph::check_invariants() const {
   }
   // Non-deadlock (Proposition 3): a non-empty graph with no taken batches
   // must expose at least one free batch.
-  if (!nodes_.empty()) {
-    bool any_taken = false;
-    for (const Node& n : nodes_) any_taken = any_taken || n.taken;
-    if (!any_taken) PSMR_CHECK(!ready_.empty());
-  }
+  std::size_t taken_count = 0;
+  for (const Node& n : nodes_) taken_count += n.taken ? 1 : 0;
+  PSMR_CHECK(taken_count == num_taken_);
+  if (!nodes_.empty() && taken_count == 0) PSMR_CHECK(!ready_.empty());
 }
 
 }  // namespace psmr::core

@@ -72,6 +72,9 @@ class DependencyGraph {
   bool empty() const noexcept { return nodes_.empty(); }
   std::size_t num_free() const noexcept { return ready_.size(); }
   std::size_t num_edges() const noexcept { return num_edges_; }
+  /// Batches currently taken (under execution). The scheduler's degraded
+  /// sequential mode gates take_oldest_free on this being zero.
+  std::size_t num_taken() const noexcept { return num_taken_; }
 
   const ConflictStats& conflict_stats() const noexcept { return detector_.stats(); }
   ConflictMode mode() const noexcept { return detector_.mode(); }
@@ -101,6 +104,7 @@ class DependencyGraph {
   std::list<Node> nodes_;                 // the paper's nodeList, in <B order
   std::map<std::uint64_t, Node*> ready_;  // free & notTaken, keyed by seq
   std::size_t num_edges_ = 0;
+  std::size_t num_taken_ = 0;
   std::uint64_t last_seq_ = 0;
   std::uint64_t inserted_ = 0;
   std::uint64_t removed_ = 0;

@@ -63,11 +63,18 @@ void Scheduler::stop() {
   workers_.clear();
 }
 
+bool Scheduler::degraded() const {
+  std::lock_guard lk(mu_);
+  return degraded_;
+}
+
 Scheduler::Stats Scheduler::stats() const {
   std::lock_guard lk(mu_);
   Stats s;
   s.batches_executed = batches_executed_;
   s.commands_executed = commands_executed_;
+  s.failed_batches = failed_batches_;
+  s.degraded = degraded_;
   s.batches_delivered = graph_.batches_inserted();
   s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
   s.max_graph_size_at_insert = graph_.size_at_insert().max();
@@ -90,7 +97,8 @@ void Scheduler::check_invariants() const {
 void Scheduler::worker_loop() {
   std::unique_lock lk(mu_);
   for (;;) {
-    DependencyGraph::Node* node = graph_.take_oldest_free();
+    DependencyGraph::Node* node =
+        can_take_locked() ? graph_.take_oldest_free() : nullptr;
     if (node == nullptr) {
       if (stopping_ && graph_.empty()) return;
       if (stopping_ && graph_.num_free() == 0 && graph_.size() > 0) {
@@ -98,23 +106,52 @@ void Scheduler::worker_loop() {
         // executed by peers; wait for them to finish.
       }
       batch_ready_.wait(lk, [&] {
-        return graph_.num_free() > 0 || (stopping_ && graph_.empty());
+        return (graph_.num_free() > 0 && can_take_locked()) ||
+               (stopping_ && graph_.empty());
       });
       continue;
     }
     const smr::BatchPtr batch = node->batch;  // keep alive across remove()
     queue_wait_.record(util::now_ns() - node->inserted_at_ns);
     lk.unlock();
-    executor_(*batch);  // line 45: execute commands in their order
+    // Line 45: execute commands in their order. A throwing executor must
+    // not kill the worker or wedge the graph: the batch is accounted as
+    // failed, removed below like any other (dependents unblock), and the
+    // loop continues.
+    bool ok = true;
+    std::string what;
+    try {
+      executor_(*batch);
+    } catch (const std::exception& e) {
+      ok = false;
+      what = e.what();
+    } catch (...) {
+      ok = false;
+      what = "non-standard exception";
+    }
+    if (!ok && on_failure_) on_failure_(*batch, what);
     lk.lock();
     const std::size_t freed = graph_.remove(node);
-    batches_executed_ += 1;
-    commands_executed_ += batch->size();
-    if (freed > 1) {
+    if (ok) {
+      batches_executed_ += 1;
+      commands_executed_ += batch->size();
+      consecutive_failures_ = 0;
+    } else {
+      // A failed batch never counts as executed — no false "executed"
+      // state leaks into the stats consumers (tests, quiesce loops).
+      failed_batches_ += 1;
+      if (config_.circuit_failure_threshold != 0 && !degraded_ &&
+          ++consecutive_failures_ >= config_.circuit_failure_threshold) {
+        degraded_ = true;  // circuit trips: sequential single-batch mode
+      }
+    }
+    if (freed > 1 && can_take_locked()) {
       lk.unlock();
       batch_ready_.notify_all();
       lk.lock();
-    } else if (freed == 1) {
+    } else if (freed >= 1 || (degraded_ && graph_.num_free() > 0)) {
+      // Degraded mode: finishing this batch may unpark a peer even when
+      // nothing new became free (the in-flight gate just opened).
       lk.unlock();
       batch_ready_.notify_one();
       lk.lock();

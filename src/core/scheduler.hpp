@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,12 +35,29 @@ class Scheduler {
     /// accumulating unbounded memory; the paper's closed-loop clients bound
     /// this naturally.
     std::size_t max_pending_batches = 0;
+    /// Worker fault isolation circuit breaker: after this many CONSECUTIVE
+    /// failed batches (executor threw), the scheduler degrades to
+    /// sequential single-batch execution — one batch in flight at a time,
+    /// delivery order — instead of crashing or wedging. 0 disables the
+    /// circuit (failures are still isolated and counted). A successful
+    /// batch resets the consecutive count but never un-trips the circuit.
+    unsigned circuit_failure_threshold = 0;
   };
+
+  /// Invoked (outside the scheduler lock, on the worker thread) when an
+  /// executor throws: receives the failed batch and the exception message.
+  /// The batch was removed from the graph — dependents run regardless.
+  using FailureFn = std::function<void(const smr::Batch&, const std::string&)>;
 
   struct Stats {
     std::uint64_t batches_executed = 0;
     std::uint64_t commands_executed = 0;
     std::uint64_t batches_delivered = 0;
+    /// Batches whose executor threw. Disjoint from batches_executed — a
+    /// failed batch never leaks into the "executed" counts.
+    std::uint64_t failed_batches = 0;
+    /// True once the failure circuit tripped (sequential degraded mode).
+    bool degraded = false;
     double avg_graph_size_at_insert = 0.0;
     double max_graph_size_at_insert = 0.0;
     ConflictStats conflict;
@@ -74,6 +92,13 @@ class Scheduler {
   /// Drains outstanding work, then joins the workers. Idempotent.
   void stop();
 
+  /// Optional hook observing failed batches (e.g. to emit error responses
+  /// when the executor itself cannot). Set before start().
+  void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
+
+  /// True once the failure circuit tripped.
+  bool degraded() const;
+
   Stats stats() const;
 
   /// Current number of batches in the graph (pending + taken).
@@ -86,8 +111,16 @@ class Scheduler {
  private:
   void worker_loop();
 
+  /// A worker may take a batch unless the circuit tripped and another batch
+  /// is already in flight (degraded mode = one batch at a time). Requires
+  /// mu_ held.
+  bool can_take_locked() const {
+    return !degraded_ || graph_.num_taken() == 0;
+  }
+
   Config config_;
   Executor executor_;
+  FailureFn on_failure_;
 
   mutable std::mutex mu_;
   std::condition_variable batch_ready_;  // workers wait here
@@ -99,6 +132,9 @@ class Scheduler {
   std::uint64_t next_seq_ = 1;
   std::uint64_t batches_executed_ = 0;
   std::uint64_t commands_executed_ = 0;
+  std::uint64_t failed_batches_ = 0;
+  unsigned consecutive_failures_ = 0;
+  bool degraded_ = false;
   stats::Histogram queue_wait_;  // guarded by mu_
 
   std::vector<std::thread> workers_;

@@ -47,6 +47,13 @@ class Batch {
   std::uint64_t proxy_id() const noexcept { return proxy_id_; }
   void set_proxy_id(std::uint64_t id) noexcept { proxy_id_ = id; }
 
+  /// Send attempt (1 = first broadcast, >1 = proxy retransmission after a
+  /// response deadline). Observability only: the commands — and therefore
+  /// the (client_id, sequence) dedup identity — are those of attempt 1.
+  std::uint32_t attempt() const noexcept { return attempt_; }
+  void set_attempt(std::uint32_t a) noexcept { attempt_ = a; }
+  bool is_retransmission() const noexcept { return attempt_ > 1; }
+
   const std::vector<Command>& commands() const noexcept { return commands_; }
   std::vector<Command>& mutable_commands() noexcept { return commands_; }
   std::size_t size() const noexcept { return commands_.size(); }
@@ -76,6 +83,7 @@ class Batch {
  private:
   std::uint64_t sequence_ = 0;
   std::uint64_t proxy_id_ = 0;
+  std::uint32_t attempt_ = 1;
   std::vector<Command> commands_;
   util::KeyBloom write_bloom_;
   util::KeyBloom read_bloom_;

@@ -17,6 +17,7 @@ const char* to_string(Status s) noexcept {
     case Status::kOk: return "ok";
     case Status::kNotFound: return "not_found";
     case Status::kAlreadyExists: return "already_exists";
+    case Status::kFailed: return "failed";
   }
   return "?";
 }

@@ -59,6 +59,11 @@ enum class Status : std::uint8_t {
   kOk = 0,
   kNotFound = 1,
   kAlreadyExists = 2,
+  /// Execution raised an exception; the command had no effect on the state
+  /// (worker fault isolation — the scheduler stays alive and dependents
+  /// still run). Deterministic services throw deterministically, so every
+  /// replica reports the same failures.
+  kFailed = 3,
 };
 
 const char* to_string(Status s) noexcept;

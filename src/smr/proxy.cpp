@@ -1,5 +1,7 @@
 #include "smr/proxy.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace psmr::smr {
@@ -8,9 +10,13 @@ Proxy::Proxy(Config config, CommandSource source, BroadcastFn broadcast)
     : config_(config),
       source_(std::move(source)),
       broadcast_(std::move(broadcast)),
-      client_seq_(config.num_clients, 0) {
+      client_seq_(config.num_clients, 0),
+      jitter_rng_(config.proxy_id * 0x9e3779b97f4a7c15ULL + 1) {
   PSMR_CHECK(config_.batch_size >= 1);
   PSMR_CHECK(config_.num_clients >= 1);
+  PSMR_CHECK(config_.retry.initial.count() > 0);
+  PSMR_CHECK(config_.retry.multiplier >= 1.0);
+  PSMR_CHECK(config_.retry.jitter >= 0.0);
   PSMR_CHECK(source_ != nullptr);
   PSMR_CHECK(broadcast_ != nullptr);
 }
@@ -23,12 +29,18 @@ void Proxy::start() {
 }
 
 void Proxy::stop() {
-  stop_.store(true, std::memory_order_relaxed);
-  all_done_.notify_all();  // release a loop stuck waiting on lost responses
+  {
+    // The flag must flip under mu_: setting it between the loop's predicate
+    // check and its (atomic) unlock-and-sleep would lose the wakeup and —
+    // before waits were bounded — hang the join forever.
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  all_done_.notify_all();
   if (thread_.joinable()) thread_.join();
 }
 
-std::unique_ptr<Batch> Proxy::build_batch() {
+Batch Proxy::build_batch() {
   std::vector<Command> commands;
   commands.reserve(config_.batch_size);
   for (std::size_t j = 0; j < config_.batch_size; ++j) {
@@ -40,36 +52,77 @@ std::unique_ptr<Batch> Proxy::build_batch() {
     cmd.sequence = seq;
     commands.push_back(cmd);
   }
-  auto batch = std::make_unique<Batch>(std::move(commands));
-  batch->set_proxy_id(config_.proxy_id);
-  if (config_.use_bitmap) batch->build_bitmap(config_.bitmap);
+  Batch batch(std::move(commands));
+  batch.set_proxy_id(config_.proxy_id);
+  if (config_.use_bitmap) batch.build_bitmap(config_.bitmap);
   return batch;
 }
 
+std::chrono::nanoseconds Proxy::backoff_with_jitter(std::chrono::nanoseconds backoff) {
+  if (config_.retry.jitter <= 0.0) return backoff;
+  const auto span = static_cast<std::uint64_t>(
+      config_.retry.jitter * static_cast<double>(backoff.count()));
+  return backoff + std::chrono::nanoseconds(jitter_rng_.next_below(span + 1));
+}
+
 void Proxy::run_loop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    std::unique_ptr<Batch> batch = build_batch();
-    const std::size_t n = batch->size();
-    {
-      std::lock_guard lk(mu_);
-      outstanding_.clear();
-      for (const Command& c : batch->commands()) {
-        outstanding_.insert(op_token(c.client_id, c.sequence));
-      }
+  const RetryConfig& retry = config_.retry;
+  std::unique_lock lk(mu_);
+  while (!stop_) {
+    lk.unlock();
+    const Batch proto = build_batch();  // kept for retransmission
+    const std::size_t n = proto.size();
+    lk.lock();
+    outstanding_.clear();
+    for (const Command& c : proto.commands()) {
+      outstanding_.insert(op_token(c.client_id, c.sequence));
     }
+    lk.unlock();
     const std::uint64_t t0 = util::now_ns();
-    broadcast_(std::move(batch));
-    {
-      // Wait for the first reply to every command in the batch (§VI).
-      std::unique_lock lk(mu_);
-      all_done_.wait(lk, [&] {
-        return outstanding_.empty() || stop_.load(std::memory_order_relaxed);
-      });
-      if (!outstanding_.empty()) break;  // stopped mid-batch; don't count it
+    broadcast_(std::make_unique<Batch>(proto));
+    auto backoff = std::chrono::duration_cast<std::chrono::nanoseconds>(retry.initial);
+    unsigned attempt = 1;
+    bool completed = false;
+    bool abandoned = false;
+    lk.lock();
+    for (;;) {
+      // Wait for the first reply to every command in the batch (§VI) — but
+      // only up to the retry deadline: fair-lossy links may have eaten the
+      // batch or its responses.
+      all_done_.wait_for(lk, backoff_with_jitter(backoff),
+                         [&] { return outstanding_.empty() || stop_; });
+      if (outstanding_.empty()) {
+        completed = true;
+        break;
+      }
+      if (stop_) break;  // stopped mid-batch; don't count it
+      if (retry.max_attempts != 0 && attempt >= retry.max_attempts) {
+        outstanding_.clear();
+        abandoned = true;
+        break;
+      }
+      ++attempt;
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      auto resend = std::make_unique<Batch>(proto);
+      resend->set_attempt(attempt);
+      broadcast_(std::move(resend));
+      lk.lock();
+      backoff = std::min(
+          std::chrono::nanoseconds(static_cast<std::int64_t>(
+              static_cast<double>(backoff.count()) * retry.multiplier)),
+          std::chrono::duration_cast<std::chrono::nanoseconds>(retry.max));
     }
-    latency_.record(util::now_ns() - t0);
-    commands_completed_.fetch_add(n, std::memory_order_relaxed);
-    batches_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (completed) {
+      lk.unlock();
+      latency_.record(util::now_ns() - t0);
+      commands_completed_.fetch_add(n, std::memory_order_relaxed);
+      batches_completed_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+    } else if (abandoned) {
+      batches_abandoned_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // stop_ is re-checked by the while condition (still under mu_).
   }
 }
 

@@ -7,9 +7,18 @@
 // broadcasts the batch, and waits for the FIRST response to every command
 // in the batch before broadcasting the next one — a closed loop. Offered
 // load is therefore controlled by the number of proxies.
+//
+// Reliability (fair-lossy links, §II): the wait on a batch carries a
+// deadline. On expiry the proxy RE-BROADCASTS the batch with exponential
+// backoff plus seeded jitter, so a lost request or lost response no longer
+// hangs the loop — replicas deduplicate retransmissions through their
+// session tables and re-send the cached responses. Retransmitted batches
+// carry an incremented attempt counter (observability only; the commands,
+// and therefore the dedup identity (client_id, sequence), are identical).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -22,9 +31,30 @@
 #include "smr/batch.hpp"
 #include "smr/command.hpp"
 #include "stats/histogram.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace psmr::smr {
+
+/// Exponential backoff policy for batch retransmission.
+struct RetryConfig {
+  /// First retransmission fires this long after the batch is broadcast.
+  std::chrono::milliseconds initial{250};
+  /// Backoff cap.
+  std::chrono::milliseconds max{2000};
+  /// Backoff growth per retransmission.
+  double multiplier = 2.0;
+  /// Total send attempts per batch (first send included). When exhausted
+  /// the batch is ABANDONED: outstanding commands are dropped, the batch
+  /// counts into batches_abandoned(), and the loop moves on. 0 = retry
+  /// forever (the fair-lossy guarantee makes eventual completion certain
+  /// as long as the service is live).
+  unsigned max_attempts = 0;
+  /// Uniform random extra delay in [0, jitter * backoff], drawn from a
+  /// proxy-seeded RNG (deterministic per proxy id) — de-synchronizes
+  /// retransmission storms across proxies.
+  double jitter = 0.1;
+};
 
 class Proxy {
  public:
@@ -44,6 +74,8 @@ class Proxy {
     /// Whether to attach the Bloom digest, and its parameters.
     bool use_bitmap = false;
     BitmapConfig bitmap;
+    /// Retransmission policy for lost batches/responses.
+    RetryConfig retry;
   };
 
   Proxy(Config config, CommandSource source, BroadcastFn broadcast);
@@ -56,10 +88,14 @@ class Proxy {
   void start();
 
   /// Signals the loop to finish the in-flight batch and exit, then joins.
+  /// Always returns promptly: the loop's waits are bounded by the retry
+  /// deadline and the stop flag is checked under the same mutex, so a lost
+  /// response cannot wedge the join.
   void stop();
 
   /// Response entry point — called by replica worker threads. Thread-safe;
-  /// duplicate responses (from multiple replicas) are counted once.
+  /// duplicate responses (from multiple replicas, or replayed from a
+  /// session cache after a retransmission) are counted once.
   void on_response(const Response& r);
 
   std::uint64_t commands_completed() const noexcept {
@@ -67,6 +103,14 @@ class Proxy {
   }
   std::uint64_t batches_completed() const noexcept {
     return batches_completed_.load(std::memory_order_relaxed);
+  }
+  /// Batches re-broadcast after a response deadline expired.
+  std::uint64_t retransmits() const noexcept {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  /// Batches given up on after RetryConfig::max_attempts sends.
+  std::uint64_t batches_abandoned() const noexcept {
+    return batches_abandoned_.load(std::memory_order_relaxed);
   }
 
   /// Batch round-trip latency (ns), recorded per completed batch.
@@ -76,7 +120,8 @@ class Proxy {
 
  private:
   void run_loop();
-  std::unique_ptr<Batch> build_batch();
+  Batch build_batch();
+  std::chrono::nanoseconds backoff_with_jitter(std::chrono::nanoseconds backoff);
 
   static std::uint64_t op_token(std::uint64_t client_id, std::uint64_t seq) noexcept {
     // Client ids are dense small integers (proxy_id * num_clients + i) and
@@ -90,14 +135,17 @@ class Proxy {
   BroadcastFn broadcast_;
 
   std::vector<std::uint64_t> client_seq_;  // next sequence per local client
+  util::Xoshiro256 jitter_rng_;            // seeded by proxy id: deterministic
 
   std::mutex mu_;
   std::condition_variable all_done_;
   std::unordered_set<std::uint64_t> outstanding_;
+  bool stop_ = false;  // guarded by mu_ (lost-wakeup-free stop)
 
   std::atomic<std::uint64_t> commands_completed_{0};
   std::atomic<std::uint64_t> batches_completed_{0};
-  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> batches_abandoned_{0};
   stats::Histogram latency_;
   std::thread thread_;
 };

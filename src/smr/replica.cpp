@@ -1,3 +1,95 @@
 #include "smr/replica.hpp"
 
-// Header-only; translation unit anchors the library target.
+#include <stdexcept>
+#include <string>
+
+namespace psmr::smr {
+
+Replica::Replica(Config config, Service& service, ResponseSink sink)
+    : config_(config),
+      service_(service),
+      sink_(std::move(sink)),
+      scheduler_(config.scheduler, [this](const Batch& b) { execute_batch(b); }) {}
+
+bool Replica::deliver(BatchPtr batch) {
+  if (config_.exactly_once && batch != nullptr && !batch->empty()) {
+    // Fast path: a batch whose every command has already been finished is a
+    // retransmission; answer from the cache without polluting the graph.
+    // (Replicas may disagree on whether the fast path fires — execution
+    // progress differs — but not on state: the slow path deduplicates the
+    // same commands at execution time.)
+    bool all_finished = true;
+    for (const Command& c : batch->commands()) {
+      if (c.sequence == 0 ||
+          sessions_.peek(c.client_id, c.sequence, nullptr) == SessionTable::Gate::kExecute) {
+        all_finished = false;
+        break;
+      }
+    }
+    if (all_finished) {
+      for (const Command& c : batch->commands()) {
+        Response cached;
+        if (sessions_.peek(c.client_id, c.sequence, &cached) ==
+            SessionTable::Gate::kDuplicate) {
+          if (sink_) sink_(cached);
+        }
+      }
+      batches_deduped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return scheduler_.deliver(std::move(batch));
+}
+
+void Replica::execute_batch(const Batch& batch) {
+  // Commands in the same batch are executed sequentially, in the given
+  // order (§V-A, third bullet). Once a command throws, the remainder of the
+  // batch is failed too (a partial batch must not silently skip ahead); all
+  // failed commands get error responses so closed-loop clients never hang.
+  bool failed = false;
+  std::string what;
+  for (const Command& cmd : batch.commands()) {
+    const bool tracked = config_.exactly_once && cmd.sequence != 0;
+    if (tracked) {
+      Response cached;
+      switch (sessions_.begin(cmd.client_id, cmd.sequence, &cached)) {
+        case SessionTable::Gate::kExecute:
+          break;
+        case SessionTable::Gate::kDuplicate:
+          if (sink_) sink_(cached);  // re-send, don't re-execute
+          continue;
+        case SessionTable::Gate::kInFlight:
+        case SessionTable::Gate::kStale:
+          continue;  // a twin or a newer command owns the reply
+      }
+    }
+    Response r;
+    r.client_id = cmd.client_id;
+    r.sequence = cmd.sequence;
+    if (failed) {
+      r.status = Status::kFailed;
+    } else {
+      try {
+        r = service_.execute(cmd);
+      } catch (const std::exception& e) {
+        failed = true;
+        what = e.what();
+        r.status = Status::kFailed;
+      } catch (...) {
+        failed = true;
+        what = "non-standard exception";
+        r.status = Status::kFailed;
+      }
+    }
+    if (tracked) sessions_.finish(r);
+    if (sink_) sink_(r);
+  }
+  if (failed) {
+    // Surface the failure to the scheduler AFTER every response is out: the
+    // scheduler accounts the batch as failed, trips its circuit if
+    // configured, and keeps the worker alive.
+    throw std::runtime_error("service execution failed: " + what);
+  }
+}
+
+}  // namespace psmr::smr

@@ -6,8 +6,19 @@
 // the commands of each batch in order against the Service and push each
 // response to the response sink, which routes it back to the originating
 // client proxy.
+//
+// Reliability envelope (see DESIGN.md "Failure model"):
+//   * Exactly-once execution — tracked commands (sequence != 0) pass
+//     through a per-client SessionTable; retransmitted or network-
+//     duplicated deliveries re-send the cached response instead of
+//     re-executing.
+//   * Worker fault isolation — a Service that throws marks the rest of the
+//     batch failed (error responses are emitted, recorded in the session
+//     table) and the failure is surfaced to the scheduler, which keeps the
+//     worker alive, unblocks dependents, and accounts the batch as failed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,6 +26,7 @@
 #include "core/scheduler.hpp"
 #include "smr/batch.hpp"
 #include "smr/command.hpp"
+#include "smr/session.hpp"
 
 namespace psmr::smr {
 
@@ -28,38 +40,45 @@ class Replica {
     core::Scheduler::Config scheduler;
     /// Replica identifier (diagnostics; responses are routed by proxy id).
     std::uint32_t replica_id = 0;
+    /// Exactly-once dedup via the session table. Commands with
+    /// sequence == 0 always bypass the table.
+    bool exactly_once = true;
   };
 
-  Replica(Config config, Service& service, ResponseSink sink)
-      : config_(config),
-        service_(service),
-        sink_(std::move(sink)),
-        scheduler_(config.scheduler, [this](const Batch& b) { execute_batch(b); }) {}
+  Replica(Config config, Service& service, ResponseSink sink);
 
   void start() { scheduler_.start(); }
   void stop() { scheduler_.stop(); }
   void wait_idle() { scheduler_.wait_idle(); }
 
   /// Delivery callback — must be called in total order (one caller at a
-  /// time, increasing sequences).
-  bool deliver(BatchPtr batch) { return scheduler_.deliver(std::move(batch)); }
+  /// time, increasing sequences). Fully-duplicate batches (every tracked
+  /// command already executed) are answered straight from the session cache
+  /// without entering the dependency graph.
+  bool deliver(BatchPtr batch);
 
   core::Scheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
   std::uint32_t id() const noexcept { return config_.replica_id; }
 
- private:
-  void execute_batch(const Batch& batch) {
-    // Commands in the same batch are executed sequentially, in the given
-    // order (§V-A, third bullet).
-    for (const Command& cmd : batch.commands()) {
-      Response r = service_.execute(cmd);
-      if (sink_) sink_(r);
-    }
+  /// The exactly-once session table. Part of the replicated state: capture
+  /// it with serialize() alongside the service snapshot and restore it
+  /// before replaying the log suffix.
+  SessionTable& sessions() noexcept { return sessions_; }
+  const SessionTable& sessions() const noexcept { return sessions_; }
+
+  /// Duplicate batches short-circuited at delivery (never scheduled).
+  std::uint64_t batches_deduped_at_delivery() const noexcept {
+    return batches_deduped_.load(std::memory_order_relaxed);
   }
+
+ private:
+  void execute_batch(const Batch& batch);
 
   Config config_;
   Service& service_;
   ResponseSink sink_;
+  SessionTable sessions_;
+  std::atomic<std::uint64_t> batches_deduped_{0};
   core::Scheduler scheduler_;
 };
 

@@ -1,0 +1,42 @@
+// Shared teardown helper for chaos deployments: after the proxies stop, the
+// learners may still be gap-recovering lost Decides, so replicas are
+// quiesced until every one of them reports the same, stable execution
+// counts before the transport is torn down.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "smr/replica.hpp"
+
+namespace psmr::chaos {
+
+inline void drain_replicas(const std::vector<smr::Replica*>& replicas,
+                           std::chrono::seconds cap = std::chrono::seconds(15)) {
+  const auto deadline = std::chrono::steady_clock::now() + cap;
+  std::uint64_t stable_count = 0;
+  int stable_rounds = 0;
+  while (std::chrono::steady_clock::now() < deadline && stable_rounds < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (smr::Replica* r : replicas) r->wait_idle();
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (smr::Replica* r : replicas) {
+      // Count failed batches too: a deterministic injected fault advances
+      // both replicas identically without touching commands_executed.
+      const auto st = r->scheduler_stats();
+      const auto n = st.commands_executed + st.failed_batches;
+      lo = std::min(lo, n);
+      hi = std::max(hi, n);
+    }
+    if (lo == hi && hi == stable_count) {
+      ++stable_rounds;
+    } else {
+      stable_rounds = 0;
+      stable_count = hi;
+    }
+  }
+}
+
+}  // namespace psmr::chaos

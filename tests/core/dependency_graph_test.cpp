@@ -232,5 +232,29 @@ TEST(DependencyGraph, RemoveNewestOnFreeNode) {
   EXPECT_EQ(g.take_oldest_free()->seq, 1u);
 }
 
+TEST(DependencyGraph, NumTakenTracksInFlightBatches) {
+  // num_taken gates the scheduler's degraded sequential mode: it must count
+  // exactly the taken-but-not-removed nodes across take/remove/remove_newest.
+  DependencyGraph g(ConflictMode::kKeysNested);
+  g.insert(make_batch(1, {1}));
+  g.insert(make_batch(2, {2}));
+  g.insert(make_batch(3, {3}));
+  EXPECT_EQ(g.num_taken(), 0u);
+  auto* a = g.take_oldest_free();
+  auto* b = g.take_oldest_free();
+  EXPECT_EQ(g.num_taken(), 2u);
+  g.remove(a);
+  EXPECT_EQ(g.num_taken(), 1u);
+  g.check_invariants();
+  // remove_newest on a free node leaves the count; on a taken node drops it.
+  g.remove_newest();  // batch 3, free
+  EXPECT_EQ(g.num_taken(), 1u);
+  g.remove_newest();  // batch 2 == b, taken
+  EXPECT_EQ(g.num_taken(), 0u);
+  EXPECT_TRUE(g.empty());
+  g.check_invariants();
+  (void)b;
+}
+
 }  // namespace
 }  // namespace psmr::core

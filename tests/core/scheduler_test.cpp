@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +15,8 @@
 
 namespace psmr::core {
 namespace {
+
+using namespace std::chrono_literals;
 
 smr::BatchPtr make_batch(std::uint64_t seq, std::vector<smr::Key> keys,
                          const smr::BitmapConfig* cfg = nullptr) {
@@ -398,6 +403,110 @@ TEST(Scheduler, DenseAndSparseBitmapModesProduceIdenticalStates) {
     return rec.take();
   };
   EXPECT_EQ(run(ConflictMode::kBitmap), run(ConflictMode::kBitmapSparse));
+}
+
+TEST(Scheduler, BackpressuredDeliverReturnsFalseOnStop) {
+  // A delivery thread parked on the backpressure gate must not hang across
+  // stop(): it wakes, observes stopping_, and reports the rejected batch.
+  std::atomic<bool> release{false};
+  Scheduler::Config cfg;
+  cfg.workers = 1;
+  cfg.max_pending_batches = 2;
+  Scheduler s(cfg, [&](const smr::Batch&) {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  });
+  s.start();
+  // Batch 1 is taken by the (blocked) worker but still occupies the graph;
+  // batch 2 fills it to the backpressure bound of 2.
+  ASSERT_TRUE(s.deliver(make_batch(1, {1})));
+  ASSERT_TRUE(s.deliver(make_batch(2, {2})));
+  std::atomic<int> result{-1};
+  std::thread delivery([&] { result.store(s.deliver(make_batch(3, {3})) ? 1 : 0); });
+  // Give the delivery thread time to park on the gate, then stop.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(result.load(), -1);
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(20ms);
+    release.store(true);  // let the drain finish so stop() can join
+  });
+  s.stop();
+  delivery.join();
+  stopper.join();
+  EXPECT_EQ(result.load(), 0);
+}
+
+TEST(Scheduler, ThrowingExecutorIsIsolatedAndDependentsRun) {
+  // Worker fault isolation: a throwing executor fails ONE batch; the worker
+  // survives, dependents of the failed batch are not orphaned, wait_idle()
+  // returns, and the failure is visible in stats and the on_failure hook.
+  std::atomic<std::uint64_t> executed{0};
+  Scheduler::Config cfg;
+  cfg.workers = 2;
+  Scheduler s(cfg, [&](const smr::Batch& b) {
+    if (b.sequence() == 1) throw std::runtime_error("poisoned batch");
+    executed.fetch_add(b.size());
+  });
+  std::atomic<int> failures_seen{0};
+  std::string failure_msg;
+  s.set_on_failure([&](const smr::Batch& b, const std::string& what) {
+    EXPECT_EQ(b.sequence(), 1u);
+    failure_msg = what;
+    failures_seen.fetch_add(1);
+  });
+  s.start();
+  s.deliver(make_batch(1, {7}));      // throws
+  s.deliver(make_batch(2, {7}));      // depends on the failed batch
+  s.deliver(make_batch(3, {9, 10}));  // independent
+  s.wait_idle();  // must return: the failed batch was removed like any other
+  const auto st = s.stats();
+  EXPECT_EQ(st.failed_batches, 1u);
+  EXPECT_EQ(st.batches_executed, 2u);       // failure never counts as executed
+  EXPECT_EQ(st.commands_executed, 3u);
+  EXPECT_FALSE(st.degraded);                // circuit disabled by default
+  EXPECT_EQ(failures_seen.load(), 1);
+  EXPECT_EQ(failure_msg, "poisoned batch");
+  // The worker pool is still alive: more work executes normally.
+  s.deliver(make_batch(4, {11}));
+  s.wait_idle();
+  s.stop();
+  EXPECT_EQ(executed.load(), 4u);
+  s.check_invariants();
+}
+
+TEST(Scheduler, CircuitBreakerDegradesToSequentialMode) {
+  // After `circuit_failure_threshold` consecutive failures the scheduler
+  // keeps running but takes one batch at a time — a concurrency probe over
+  // independent batches must never observe parallelism after the trip.
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  Scheduler::Config cfg;
+  cfg.workers = 4;
+  cfg.circuit_failure_threshold = 2;
+  Scheduler s(cfg, [&](const smr::Batch& b) {
+    if (b.sequence() <= 2) throw std::runtime_error("early failure");
+    const int cur = concurrent.fetch_add(1) + 1;
+    int seen = max_concurrent.load();
+    while (cur > seen && !max_concurrent.compare_exchange_weak(seen, cur)) {
+    }
+    std::this_thread::sleep_for(1ms);
+    concurrent.fetch_sub(1);
+  });
+  s.start();
+  // Two conflicting failures (same key → sequential) trip the circuit.
+  s.deliver(make_batch(1, {5}));
+  s.deliver(make_batch(2, {5}));
+  s.wait_idle();
+  EXPECT_TRUE(s.degraded());
+  // A wave of pairwise-independent batches would normally fan out across
+  // all 4 workers; degraded mode pins them to one at a time.
+  for (std::uint64_t i = 3; i <= 22; ++i) s.deliver(make_batch(i, {i * 100}));
+  s.wait_idle();
+  s.stop();
+  const auto st = s.stats();
+  EXPECT_EQ(st.failed_batches, 2u);
+  EXPECT_EQ(st.batches_executed, 20u);
+  EXPECT_TRUE(st.degraded);
+  EXPECT_EQ(max_concurrent.load(), 1);
 }
 
 TEST(Scheduler, StatsReportGraphAndConflicts) {

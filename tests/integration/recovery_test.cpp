@@ -14,6 +14,7 @@
 #include "kvstore/kvstore.hpp"
 #include "smr/codec.hpp"
 #include "smr/replica.hpp"
+#include "testing/fault_schedule.hpp"
 
 namespace psmr {
 namespace {
@@ -131,6 +132,73 @@ TEST(Recovery, SnapshotPlusSuffixRecovery) {
   EXPECT_LT(replica_b.scheduler_stats().commands_executed,
             fx.replica_a->scheduler_stats().commands_executed)
       << "snapshot recovery must not replay the whole log";
+
+  fx.group.stop();
+  fx.replica_a->stop();
+  replica_b.stop();
+}
+
+TEST(Recovery, SessionSnapshotPreventsReExecutionAfterRecovery) {
+  // The session table is part of the replicated state: a replica recovering
+  // from a snapshot must restore it BEFORE replaying the suffix, or a
+  // retransmission of a pre-snapshot command would re-execute on the
+  // recovered replica only (state divergence).
+  Fixture fx;
+  auto broadcast_tracked = [&](std::uint64_t client, std::uint64_t seq, smr::Key key,
+                               std::uint64_t value) {
+    std::vector<smr::Command> cmds;
+    smr::Command c;
+    c.type = smr::OpType::kUpdate;
+    c.key = key;
+    c.value = value;
+    c.client_id = client;
+    c.sequence = seq;
+    cmds.push_back(c);
+    smr::Batch batch(std::move(cmds));
+    batch.build_bitmap(fx.bitmap);
+    fx.group.broadcast(
+        std::make_shared<const std::vector<std::uint8_t>>(smr::encode_batch(batch)));
+  };
+  for (std::uint64_t client = 1; client <= 4; ++client) {
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+      broadcast_tracked(client, seq, client * 10 + seq, client * 100 + seq);
+    }
+  }
+  ASSERT_TRUE(fx.quiesce(*fx.replica_a, 20));
+
+  // Snapshot = service state + session table, stamped with the next
+  // undelivered instance.
+  const consensus::InstanceId snapshot_point = fx.group.learner_next_instance(0);
+  const auto store_snap = fx.store_a.serialize();
+  const auto session_snap = fx.replica_a->sessions().serialize();
+
+  kv::KvStore store_b;
+  ASSERT_TRUE(store_b.deserialize(store_snap));
+  kv::KvService service_b(store_b);
+  testing::ExecutionCounter counter(service_b);  // re-execution witness
+  smr::Replica::Config rcfg;
+  rcfg.scheduler.workers = 4;
+  rcfg.scheduler.mode = core::ConflictMode::kBitmap;
+  smr::Replica replica_b(rcfg, counter, [](const smr::Response&) {});
+  ASSERT_TRUE(replica_b.sessions().deserialize(session_snap));
+  EXPECT_EQ(replica_b.sessions().digest(), fx.replica_a->sessions().digest());
+  replica_b.start();
+  fx.group.add_learner(fx.make_delivery(replica_b), snapshot_point);
+
+  // A retransmission of a pre-snapshot command arrives AFTER the snapshot
+  // point (it is part of replica B's suffix), alongside fresh traffic.
+  broadcast_tracked(2, 3, 2 * 10 + 3, 2 * 100 + 3);  // duplicate of (2, 3)
+  broadcast_tracked(5, 1, 99, 999);                  // fresh command
+  ASSERT_TRUE(fx.quiesce(*fx.replica_a, 21));
+  ASSERT_TRUE(fx.quiesce(replica_b, 1));  // ONLY the fresh command executes
+
+  // The restored session table swallowed the duplicate: replica B executed
+  // exactly one command — the fresh one — and never re-ran (2, 3).
+  EXPECT_EQ(counter.distinct_commands(), 1u);
+  EXPECT_EQ(counter.max_executions(), 1u);
+  EXPECT_GE(replica_b.batches_deduped_at_delivery(), 1u);
+  EXPECT_EQ(fx.store_a.snapshot(), store_b.snapshot());
+  EXPECT_EQ(fx.replica_a->sessions().digest(), replica_b.sessions().digest());
 
   fx.group.stop();
   fx.replica_a->stop();

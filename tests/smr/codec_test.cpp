@@ -91,9 +91,9 @@ TEST(Codec, RejectsTrailingGarbage) {
 TEST(Codec, RejectsBadOpType) {
   BitmapConfig cfg;
   auto bytes = encode_batch(sample_batch(1, false, cfg));
-  // Command block starts after magic(4) + seq(8) + proxy(8) + flag(1) +
-  // count(4) = 25; first byte is the op type.
-  bytes[25] = 17;
+  // Command block starts after magic(4) + version(1) + seq(8) + proxy(8) +
+  // attempt(4) + flag(1) + count(4) = 30; first byte is the op type.
+  bytes[30] = 17;
   EXPECT_FALSE(decode_batch(bytes, cfg).has_value());
 }
 

@@ -19,15 +19,17 @@ namespace {
 using namespace std::chrono_literals;
 
 std::unique_ptr<Batch> updates(std::initializer_list<Key> keys) {
+  // Session dedup keys on (client_id, sequence): draw sequences from a
+  // process-wide counter so distinct test commands never alias.
+  static std::atomic<std::uint64_t> next_seq{0};
   std::vector<Command> cmds;
-  std::uint64_t seq = 0;
   for (Key k : keys) {
     Command c;
     c.type = OpType::kUpdate;
     c.key = k;
     c.value = k * 10;
     c.client_id = 1;
-    c.sequence = ++seq;
+    c.sequence = next_seq.fetch_add(1) + 1;
     cmds.push_back(c);
   }
   return std::make_unique<Batch>(std::move(cmds));

@@ -1,0 +1,121 @@
+// FaultSchedule + chaos service decorators: the scripted-fault machinery
+// itself must be deterministic before any chaos test can trust it.
+#include "testing/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "kvstore/kvstore.hpp"
+
+namespace psmr::testing {
+namespace {
+
+TEST(FaultSchedule, FiresOnceAtThresholdInInsertionOrder) {
+  FaultSchedule fs;
+  std::vector<int> order;
+  fs.at(Trigger::kDelivery, 10, "a", [&] { order.push_back(1); });
+  fs.at(Trigger::kDelivery, 10, "b", [&] { order.push_back(2); });
+  fs.at(Trigger::kDelivery, 5, "c", [&] { order.push_back(3); });
+  EXPECT_EQ(fs.pending(), 3u);
+
+  fs.advance(Trigger::kDelivery, 4);
+  EXPECT_TRUE(fs.fired().empty());
+  fs.advance(Trigger::kDelivery, 5);
+  EXPECT_EQ(fs.fired(), (std::vector<std::string>{"c"}));
+  // Jumping past several thresholds fires everything due, once, in order.
+  fs.advance(Trigger::kDelivery, 50);
+  EXPECT_EQ(fs.fired(), (std::vector<std::string>{"c", "a", "b"}));
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+  fs.advance(Trigger::kDelivery, 100);  // no re-fire
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(fs.pending(), 0u);
+}
+
+TEST(FaultSchedule, TriggersAreIndependentClocks) {
+  FaultSchedule fs;
+  std::atomic<int> fired{0};
+  fs.at(Trigger::kBroadcast, 3, "bcast", [&] { fired.fetch_add(1); });
+  fs.at(Trigger::kResponse, 3, "resp", [&] { fired.fetch_add(10); });
+  fs.advance(Trigger::kDelivery, 100);  // unrelated clock
+  EXPECT_EQ(fired.load(), 0);
+  fs.advance(Trigger::kBroadcast, 3);
+  EXPECT_EQ(fired.load(), 1);
+  fs.advance(Trigger::kResponse, 7);
+  EXPECT_EQ(fired.load(), 11);
+}
+
+TEST(FaultSchedule, ConcurrentAdvancesFireEachActionOnce) {
+  FaultSchedule fs;
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 50; ++i) {
+    fs.at(Trigger::kDelivery, static_cast<std::uint64_t>(i + 1), "x",
+          [&] { fired.fetch_add(1); });
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t v = 1; v <= 60; ++v) fs.advance(Trigger::kDelivery, v);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fired.load(), 50);
+}
+
+TEST(ThrowingService, ThrowsOnScriptedCommandWithoutTouchingState) {
+  kv::KvStore store;
+  kv::KvService inner(store);
+  ThrowingService svc(inner);
+  svc.throw_on(7, 3);
+
+  smr::Command ok;
+  ok.type = smr::OpType::kUpdate;
+  ok.key = 1;
+  ok.value = 10;
+  ok.client_id = 7;
+  ok.sequence = 2;
+  EXPECT_EQ(svc.execute(ok).status, smr::Status::kOk);
+
+  smr::Command poisoned = ok;
+  poisoned.key = 2;
+  poisoned.sequence = 3;
+  EXPECT_THROW(svc.execute(poisoned), std::exception);
+  EXPECT_EQ(svc.throws(), 1u);
+  EXPECT_EQ(store.size(), 1u);  // the poisoned write never landed
+  // Every execution attempt throws again — deterministic across replicas.
+  EXPECT_THROW(svc.execute(poisoned), std::exception);
+  EXPECT_EQ(svc.throws(), 2u);
+}
+
+TEST(ExecutionCounter, DetectsDoubleExecution) {
+  kv::KvStore store;
+  kv::KvService inner(store);
+  ExecutionCounter counter(inner);
+
+  smr::Command c;
+  c.type = smr::OpType::kUpdate;
+  c.key = 5;
+  c.value = 50;
+  c.client_id = 1;
+  c.sequence = 1;
+  counter.execute(c);
+  EXPECT_EQ(counter.max_executions(), 1u);
+  EXPECT_TRUE(counter.over_executed().empty());
+  counter.execute(c);  // a dedup leak
+  EXPECT_EQ(counter.max_executions(), 2u);
+  ASSERT_EQ(counter.over_executed().size(), 1u);
+  EXPECT_EQ(counter.over_executed()[0], (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+
+  // Untracked commands (sequence 0) are ignored by the witness.
+  smr::Command untracked = c;
+  untracked.sequence = 0;
+  counter.execute(untracked);
+  counter.execute(untracked);
+  EXPECT_EQ(counter.max_executions(), 2u);
+  EXPECT_EQ(counter.distinct_commands(), 1u);
+}
+
+}  // namespace
+}  // namespace psmr::testing
