@@ -31,6 +31,7 @@ struct HarnessConfig {
   // Scheduler under test.
   unsigned workers = 1;
   core::ConflictMode mode = core::ConflictMode::kKeysNested;
+  core::IndexMode index = core::IndexMode::kAuto;
   // Workload shape.
   std::size_t batch_size = 1;
   bool use_bitmap = false;
@@ -77,6 +78,7 @@ inline HarnessResult run_throughput(const HarnessConfig& cfg) {
   smr::Replica::Config rcfg;
   rcfg.scheduler.workers = cfg.workers;
   rcfg.scheduler.mode = cfg.mode;
+  rcfg.scheduler.index = cfg.index;
 
   std::vector<std::unique_ptr<smr::Proxy>> proxies;
   auto sink = [&proxies](const smr::Response& r) {

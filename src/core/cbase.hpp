@@ -30,8 +30,9 @@ class CbaseScheduler {
 
   CbaseScheduler(Config config, Executor executor)
       : scheduler_(
-            Scheduler::Config{config.workers, ConflictMode::kKeysNested,
-                              config.max_pending_commands},
+            Scheduler::Config{.workers = config.workers,
+                              .mode = ConflictMode::kKeysNested,
+                              .max_pending_batches = config.max_pending_commands},
             [executor = std::move(executor)](const smr::Batch& batch) {
               for (const smr::Command& cmd : batch.commands()) executor(cmd);
             }) {}

@@ -16,6 +16,15 @@ const char* to_string(ConflictMode m) noexcept {
   return "?";
 }
 
+const char* to_string(IndexMode m) noexcept {
+  switch (m) {
+    case IndexMode::kScan: return "scan";
+    case IndexMode::kIndexed: return "indexed";
+    case IndexMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
 bool ConflictDetector::operator()(const smr::Batch& a, const smr::Batch& b) {
   ++stats_.tests;
   bool conflict = false;

@@ -33,6 +33,29 @@ enum class ConflictMode : std::uint8_t {
 
 const char* to_string(ConflictMode m) noexcept;
 
+/// Conflict-detection *indexing* strategy — orthogonal to ConflictMode.
+/// Controls how the dependency graph finds the resident batches an incoming
+/// batch must be pairwise-tested against; it never changes which edges are
+/// added, so every setting yields the identical graph (and thus identical
+/// replica behaviour) for the same delivery order.
+enum class IndexMode : std::uint8_t {
+  /// Pairwise test against every resident batch — Algorithm 1 lines 18–20
+  /// verbatim. O(graph size) tests per insert.
+  kScan = 0,
+  /// Aggregate bitmap + bit→posting-list inverted index over conflict
+  /// positions (hashed keys, or bitmap digest bits). A probe that misses
+  /// the aggregate skips all pairwise tests in one pass; otherwise only the
+  /// batches sharing a set position are tested. No false negatives: two
+  /// batches can only conflict if they share a position.
+  kIndexed = 1,
+  /// kIndexed whenever the batches support it (key modes always; bitmap
+  /// modes with unified digests), degrading to kScan the first time a
+  /// non-indexable batch (split read/write digest) arrives.
+  kAuto = 2,
+};
+
+const char* to_string(IndexMode m) noexcept;
+
 struct ConflictStats {
   /// Command-pair (key modes) or word (bitmap mode) comparisons performed.
   std::uint64_t comparisons = 0;

@@ -1,36 +1,227 @@
 #include "core/dependency_graph.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 #include "util/time.hpp"
 
 namespace psmr::core {
+namespace {
 
-void DependencyGraph::insert(smr::BatchPtr batch) {
+// Index position space for the key-based conflict modes: command keys are
+// hashed into this many slots (power of two, so reduction is a mask). A
+// collision only widens the candidate set — the exact detector still rules
+// on every candidate pair — so this is a time/space knob, not a correctness
+// one. 1M slots keep the false-candidate rate per probe position around
+// 0.1% per resident batch at paper-scale graphs.
+constexpr std::uint32_t kKeyIndexBits = 1u << 20;
+constexpr std::uint64_t kKeyIndexSeed = 0;
+
+// Upper bound on recycled nodes kept around. Pooling avoids a list-node
+// allocation plus the deps/index_positions vector growth on every insert;
+// the cap bounds the memory retained after a transient backlog drains.
+constexpr std::size_t kMaxPooledNodes = 1024;
+
+std::uint32_t key_position(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(util::mix64(key, kKeyIndexSeed) &
+                                    (kKeyIndexBits - 1));
+}
+
+}  // namespace
+
+DependencyGraph::DependencyGraph(ConflictMode mode, IndexMode index)
+    : detector_(mode),
+      index_mode_(index),
+      index_active_(index != IndexMode::kScan) {}
+
+bool DependencyGraph::compute_positions(const smr::Batch& batch,
+                                        std::vector<std::uint32_t>& out) const {
+  out.clear();
+  switch (detector_.mode()) {
+    case ConflictMode::kKeysNested:
+    case ConflictMode::kKeysHashed:
+      out.reserve(batch.size());
+      for (const smr::Command& c : batch.commands()) {
+        out.push_back(key_position(c.key));
+      }
+      break;
+    case ConflictMode::kBitmap:
+    case ConflictMode::kBitmapSparse:
+      // Split read/write digests carry no position list; such batches
+      // cannot be indexed and degrade the graph to scanning.
+      if (!batch.has_bitmap() || batch.split_read_write()) return false;
+      out.assign(batch.bitmap_positions().begin(), batch.bitmap_positions().end());
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return true;
+}
+
+DependencyGraph::Prepared DependencyGraph::prepare(smr::BatchPtr batch) const {
   PSMR_CHECK(batch != nullptr);
-  PSMR_CHECK(batch->sequence() > last_seq_);  // delivery order is strictly increasing
-  last_seq_ = batch->sequence();
+  Prepared p;
+  // Only the immutable configuration is read here — index_active_ can be
+  // mutated concurrently by an insert on another thread, so prepare() must
+  // not depend on it.
+  if (index_mode_ != IndexMode::kScan) {
+    p.indexable = compute_positions(*batch, p.positions);
+  }
+  p.batch = std::move(batch);
+  return p;
+}
+
+DependencyGraph::Node& DependencyGraph::acquire_node() {
+  if (!pool_.empty()) {
+    nodes_.splice(nodes_.end(), pool_, std::prev(pool_.end()));
+  } else {
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_.back();
+  node.self = std::prev(nodes_.end());
+  return node;
+}
+
+void DependencyGraph::release_node(Node* node) {
+  node->batch.reset();
+  node->deps.clear();  // keeps capacity for the next occupant
+  node->index_positions.clear();
+  node->pending_bdeps = 0;
+  node->taken = false;
+  node->seq = 0;
+  node->inserted_at_ns = 0;
+  node->probe_stamp = 0;
+  if (pool_.size() < kMaxPooledNodes) {
+    pool_.splice(pool_.end(), nodes_, node->self);
+  } else {
+    nodes_.erase(node->self);
+  }
+}
+
+void DependencyGraph::ensure_aggregate_bits(std::size_t bits) {
+  if (aggregate_.size_bits() >= bits) return;
+  util::Bitmap grown(bits);
+  for (const auto& [pos, list] : postings_) {
+    (void)list;
+    grown.set(pos);
+  }
+  aggregate_ = std::move(grown);
+}
+
+void DependencyGraph::index_insert(Node& node) {
+  for (std::uint32_t pos : node.index_positions) {
+    postings_[pos].push_back(&node);
+    aggregate_.set(pos);
+  }
+}
+
+void DependencyGraph::index_erase(Node& node) {
+  for (std::uint32_t pos : node.index_positions) {
+    auto it = postings_.find(pos);
+    PSMR_DCHECK(it != postings_.end());
+    auto& list = it->second;
+    auto pit = std::find(list.begin(), list.end(), &node);
+    PSMR_DCHECK(pit != list.end());
+    *pit = list.back();
+    list.pop_back();
+    // The posting list doubles as the per-bit refcount: the aggregate bit
+    // clears exactly when the last resident batch using it leaves, so the
+    // aggregate never goes stale and never needs a rebuild pass.
+    if (list.empty()) {
+      postings_.erase(it);
+      aggregate_.reset(pos);
+    }
+  }
+}
+
+void DependencyGraph::disable_index() {
+  index_active_ = false;
+  index_stats_.fell_back_to_scan = true;
+  postings_.clear();
+  aggregate_ = util::Bitmap();
+  for (Node& n : nodes_) n.index_positions.clear();
+}
+
+void DependencyGraph::insert(Prepared&& probe) {
+  PSMR_CHECK(probe.batch != nullptr);
+  PSMR_CHECK(probe.batch->sequence() > last_seq_);  // delivery order is strictly increasing
+  last_seq_ = probe.batch->sequence();
 
   // The paper samples the graph size the scheduler contends with; record it
   // before the new node joins.
   size_at_insert_.add(static_cast<double>(nodes_.size()));
 
-  nodes_.emplace_back();
-  Node& node = nodes_.back();
-  node.batch = std::move(batch);
+  Node& node = acquire_node();
+  node.batch = std::move(probe.batch);
   node.seq = node.batch->sequence();
   node.inserted_at_ns = util::now_ns();
-  node.self = std::prev(nodes_.end());
 
-  // Lines 18–20: every batch already in the graph that conflicts with the
-  // incoming one must be processed before it.
-  for (auto it = nodes_.begin(); it != node.self; ++it) {
-    if (detector_(*it->batch, *node.batch)) {
-      it->deps.push_back(&node);
-      ++node.pending_bdeps;
-      ++num_edges_;
+  if (index_active_ && !probe.indexable) disable_index();
+
+  if (index_active_) {
+    node.index_positions = std::move(probe.positions);
+    ++index_stats_.probes;
+    const ConflictMode m = detector_.mode();
+    if (m == ConflictMode::kBitmap || m == ConflictMode::kBitmapSparse) {
+      ensure_aggregate_bits(node.batch->write_bloom().bitmap().size_bits());
+    } else {
+      ensure_aggregate_bits(kKeyIndexBits);
+    }
+
+    // Aggregate fast path: a probe with no position resident anywhere in
+    // the graph conflicts with nothing — skip every pairwise test. kBitmap
+    // carries a dense digest, so the check is one vectorized word-AND pass;
+    // the other modes probe their O(batch) positions.
+    bool may_conflict = false;
+    if (m == ConflictMode::kBitmap) {
+      may_conflict = node.batch->write_bloom().bitmap().intersects(aggregate_);
+    } else {
+      for (std::uint32_t pos : node.index_positions) {
+        if (aggregate_.test(pos)) {
+          may_conflict = true;
+          break;
+        }
+      }
+    }
+
+    if (!may_conflict) {
+      ++index_stats_.fast_path_skips;
+    } else {
+      // Candidate set: resident batches sharing at least one position with
+      // the probe. Conflicts imply a shared position (same key hashes to
+      // the same slot; intersecting digests share a bit), so testing only
+      // candidates adds exactly the edges the full scan would — lines
+      // 18–20 with the no-false-negative guarantee intact.
+      ++probe_stamp_;
+      for (std::uint32_t pos : node.index_positions) {
+        if (!aggregate_.test(pos)) continue;
+        auto it = postings_.find(pos);
+        PSMR_DCHECK(it != postings_.end());
+        for (Node* cand : it->second) {
+          if (cand->probe_stamp == probe_stamp_) continue;  // already tested
+          cand->probe_stamp = probe_stamp_;
+          ++index_stats_.candidate_tests;
+          if (detector_(*cand->batch, *node.batch)) {
+            cand->deps.push_back(&node);
+            ++node.pending_bdeps;
+            ++num_edges_;
+          }
+        }
+      }
+    }
+    index_insert(node);
+  } else {
+    // Lines 18–20, the paper's scan: every batch already in the graph that
+    // conflicts with the incoming one must be processed before it.
+    for (auto it = nodes_.begin(); it != node.self; ++it) {
+      if (detector_(*it->batch, *node.batch)) {
+        it->deps.push_back(&node);
+        ++node.pending_bdeps;
+        ++num_edges_;
+      }
     }
   }
 
@@ -66,7 +257,8 @@ std::size_t DependencyGraph::remove(Node* node) {
   }
   num_edges_ -= node->deps.size();
   --num_taken_;
-  nodes_.erase(node->self);  // line 42
+  if (index_active_) index_erase(*node);
+  release_node(node);  // line 42
   ++removed_;
   return freed;
 }
@@ -82,8 +274,19 @@ void DependencyGraph::remove_newest() {
   }
   ready_.erase(last.seq);
   if (last.taken) --num_taken_;
-  nodes_.pop_back();
+  if (index_active_) index_erase(last);
+  release_node(&last);
   ++removed_;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> DependencyGraph::edges() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(num_edges_);
+  for (const Node& n : nodes_) {
+    for (const Node* succ : n.deps) out.emplace_back(n.seq, succ->seq);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::string DependencyGraph::to_dot() const {
@@ -105,19 +308,17 @@ std::string DependencyGraph::to_dot() const {
 void DependencyGraph::check_invariants() const {
   // Edges must point old -> new; with that property cycles are impossible,
   // so the DAG check reduces to the order check (Proposition 1).
-  std::size_t edges = 0;
+  std::size_t edges_seen = 0;
   std::unordered_set<const Node*> live;
   for (const Node& n : nodes_) live.insert(&n);
   for (const Node& n : nodes_) {
-    std::size_t in_degree_check = 0;
-    (void)in_degree_check;
     for (const Node* succ : n.deps) {
       PSMR_CHECK(live.contains(succ));
       PSMR_CHECK(n.seq < succ->seq);
-      ++edges;
+      ++edges_seen;
     }
   }
-  PSMR_CHECK(edges == num_edges_);
+  PSMR_CHECK(edges_seen == num_edges_);
   // Every pending_bdeps must equal the number of live predecessors' edges
   // pointing at the node.
   std::unordered_map<const Node*, std::size_t> indeg;
@@ -140,6 +341,37 @@ void DependencyGraph::check_invariants() const {
   for (const Node& n : nodes_) taken_count += n.taken ? 1 : 0;
   PSMR_CHECK(taken_count == num_taken_);
   if (!nodes_.empty() && taken_count == 0) PSMR_CHECK(!ready_.empty());
+
+  // Index cross-check: posting lists and the aggregate bitmap must exactly
+  // mirror the resident batches' freshly recomputed positions.
+  if (index_active_) {
+    std::unordered_map<std::uint32_t, std::size_t> expected;
+    std::vector<std::uint32_t> fresh;
+    for (const Node& n : nodes_) {
+      PSMR_CHECK(compute_positions(*n.batch, fresh));
+      PSMR_CHECK(fresh == n.index_positions);
+      for (std::uint32_t pos : fresh) {
+        ++expected[pos];
+        const auto it = postings_.find(pos);
+        PSMR_CHECK(it != postings_.end());
+        PSMR_CHECK(std::find(it->second.begin(), it->second.end(), &n) !=
+                   it->second.end());
+      }
+    }
+    PSMR_CHECK(postings_.size() == expected.size());
+    for (const auto& [pos, list] : postings_) {
+      PSMR_CHECK(!list.empty());
+      const auto it = expected.find(pos);
+      PSMR_CHECK(it != expected.end());
+      PSMR_CHECK(list.size() == it->second);
+      PSMR_CHECK(pos < aggregate_.size_bits());
+      PSMR_CHECK(aggregate_.test(pos));
+    }
+    PSMR_CHECK(aggregate_.count() == postings_.size());
+  } else {
+    PSMR_CHECK(postings_.empty());
+    PSMR_CHECK(aggregate_.none());
+  }
 }
 
 }  // namespace psmr::core

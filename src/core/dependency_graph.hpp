@@ -9,20 +9,35 @@
 // exists "to speed the process of removing edges"), and a taken/notTaken
 // status so a batch under execution stays visible to conflict detection.
 //
+// On top of Algorithm 1, the graph can maintain an INVERTED INDEX over
+// conflict positions (IndexMode::kIndexed / kAuto): an aggregate bitmap —
+// the OR of every resident batch's positions, kept exact by using the
+// posting lists as per-bit refcounts — and a position -> posting-list map.
+// An incoming batch whose positions miss the aggregate is provably
+// conflict-free against the whole graph and skips all pairwise tests; when
+// the aggregate intersects, only batches sharing a position are tested.
+// Both paths add the identical edge set (two batches can only conflict if
+// they share a position), so determinism across replicas is untouched.
+//
 // NOT thread-safe: the scheduler serializes all access through its monitor,
 // exactly as Algorithm 1 prescribes ("inserting, getting the next batch,
-// and removing a batch are performed in mutual exclusion").
+// and removing a batch are performed in mutual exclusion"). The only
+// exception is prepare(), which is const, touches no graph state, and is
+// designed to run outside the monitor.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/conflict.hpp"
 #include "smr/batch.hpp"
 #include "stats/meter.hpp"
+#include "util/bitmap.hpp"
 
 namespace psmr::core {
 
@@ -45,18 +60,58 @@ class DependencyGraph {
    private:
     friend class DependencyGraph;
     std::list<Node>::iterator self;
+    /// Distinct index positions this batch occupies (hashed keys for the
+    /// key modes, digest bit positions for unified bitmap modes). Empty
+    /// when the index is inactive.
+    std::vector<std::uint32_t> index_positions;
+    /// Stamp of the last probe that already tested this node — dedups
+    /// candidates reached through several shared positions.
+    std::uint64_t probe_stamp = 0;
   };
 
-  explicit DependencyGraph(ConflictMode mode) : detector_(mode) {}
+  /// Probe metadata for one batch, computable OUTSIDE the scheduler's
+  /// monitor (prepare() is const and touches no mutable graph state). The
+  /// scheduler prepares the probe before taking its lock so the serialized
+  /// section only pays for the index lookup and the candidate tests.
+  struct Prepared {
+    smr::BatchPtr batch;
+    /// Distinct index positions (sorted). Meaningful only if `indexable`.
+    std::vector<std::uint32_t> positions;
+    /// False when this batch cannot participate in the index (split
+    /// read/write digests) — its arrival degrades the graph to scanning.
+    bool indexable = false;
+  };
+
+  struct IndexStats {
+    /// Inserts performed while the index was active.
+    std::uint64_t probes = 0;
+    /// Probes whose positions missed the aggregate bitmap entirely — zero
+    /// pairwise tests instead of `graph size` of them.
+    std::uint64_t fast_path_skips = 0;
+    /// Pairwise tests routed through posting lists (the candidate set).
+    std::uint64_t candidate_tests = 0;
+    /// True once a non-indexable batch permanently degraded the graph to
+    /// IndexMode::kScan behaviour.
+    bool fell_back_to_scan = false;
+  };
+
+  explicit DependencyGraph(ConflictMode mode, IndexMode index = IndexMode::kAuto);
 
   DependencyGraph(const DependencyGraph&) = delete;
   DependencyGraph& operator=(const DependencyGraph&) = delete;
 
+  /// Computes the probe positions for a batch under this graph's conflict
+  /// and index configuration. Pure: safe to call concurrently with graph
+  /// mutation (it reads only the immutable configuration and the batch).
+  Prepared prepare(smr::BatchPtr batch) const;
+
   /// dgInsertBatch (lines 17–22): compares the incoming batch against every
-  /// batch currently in the graph (pending AND taken), adding dependency
-  /// edges from each conflicting one. The batch must already carry its
-  /// delivery sequence number, strictly increasing across calls.
-  void insert(smr::BatchPtr batch);
+  /// batch currently in the graph (pending AND taken) that can conflict
+  /// with it, adding dependency edges from each conflicting one. The batch
+  /// must already carry its delivery sequence number, strictly increasing
+  /// across calls.
+  void insert(Prepared&& probe);
+  void insert(smr::BatchPtr batch) { insert(prepare(std::move(batch))); }
 
   /// dgGetBatch (lines 32–37): returns the OLDEST free (in-degree 0,
   /// notTaken) node, marking it taken; nullptr when no batch is free.
@@ -79,6 +134,12 @@ class DependencyGraph {
   const ConflictStats& conflict_stats() const noexcept { return detector_.stats(); }
   ConflictMode mode() const noexcept { return detector_.mode(); }
 
+  /// Configured index mode and whether the index is currently maintained
+  /// (kAuto may have degraded to scanning).
+  IndexMode index_mode() const noexcept { return index_mode_; }
+  bool index_active() const noexcept { return index_active_; }
+  const IndexStats& index_stats() const noexcept { return index_stats_; }
+
   /// Average graph size observed at insertion time — the quantity the paper
   /// reports per configuration (§VII-D) and feeds into Table I.
   const stats::RunningStat& size_at_insert() const noexcept { return size_at_insert_; }
@@ -92,16 +153,36 @@ class DependencyGraph {
   /// batch through a fixed pending set without executing the pending set.
   void remove_newest();
 
+  /// All current edges as (from seq, to seq) pairs, sorted — test support
+  /// for comparing graphs built under different index modes.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges() const;
+
   /// Graphviz rendering of the current graph (examples / debugging).
   std::string to_dot() const;
 
-  /// Test hook: walks the graph verifying acyclicity and that every edge
-  /// points from an older to a newer batch. Aborts on violation.
+  /// Test hook: walks the graph verifying acyclicity, that every edge
+  /// points from an older to a newer batch, and that the inverted index
+  /// (posting lists + aggregate bitmap) exactly mirrors the resident
+  /// batches. Aborts on violation.
   void check_invariants() const;
 
  private:
+  /// Distinct, sorted index positions of a batch; false if the batch cannot
+  /// be indexed under the current configuration.
+  bool compute_positions(const smr::Batch& batch, std::vector<std::uint32_t>& out) const;
+
+  Node& acquire_node();
+  void release_node(Node* node);
+  void ensure_aggregate_bits(std::size_t bits);
+  void index_insert(Node& node);
+  void index_erase(Node& node);
+  void disable_index();
+
   ConflictDetector detector_;
+  IndexMode index_mode_;
+  bool index_active_;
   std::list<Node> nodes_;                 // the paper's nodeList, in <B order
+  std::list<Node> pool_;                  // recycled nodes (allocation pooling)
   std::map<std::uint64_t, Node*> ready_;  // free & notTaken, keyed by seq
   std::size_t num_edges_ = 0;
   std::size_t num_taken_ = 0;
@@ -109,6 +190,14 @@ class DependencyGraph {
   std::uint64_t inserted_ = 0;
   std::uint64_t removed_ = 0;
   stats::RunningStat size_at_insert_;
+
+  // Inverted index: aggregate bitmap (OR of all resident batches' positions,
+  // kept exact — a bit clears when its posting list empties) + posting
+  // lists. postings_ entries are never empty.
+  util::Bitmap aggregate_;
+  std::unordered_map<std::uint32_t, std::vector<Node*>> postings_;
+  std::uint64_t probe_stamp_ = 0;
+  IndexStats index_stats_;
 };
 
 }  // namespace psmr::core

@@ -5,7 +5,7 @@
 namespace psmr::core {
 
 PipelinedScheduler::PipelinedScheduler(Config config, Executor executor)
-    : config_(config), executor_(std::move(executor)), graph_(config.mode) {
+    : config_(config), executor_(std::move(executor)), graph_(config.mode, config.index) {
   PSMR_CHECK(config_.workers >= 1);
   PSMR_CHECK(executor_ != nullptr);
 }
@@ -34,7 +34,7 @@ bool PipelinedScheduler::deliver(smr::BatchPtr batch) {
   }
   if (stopping_.load(std::memory_order_relaxed)) return false;
   outstanding_.fetch_add(1, std::memory_order_relaxed);
-  if (!events_.push(Event{Delivery{std::move(batch)}})) {
+  if (!events_.push(Event{Delivery{graph_.prepare(std::move(batch))}})) {
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
@@ -82,7 +82,7 @@ void PipelinedScheduler::scheduler_loop() {
   while (auto event = events_.pop()) {
     std::unique_lock stats_lk(stats_mu_);
     if (auto* delivery = std::get_if<Delivery>(&*event)) {
-      graph_.insert(std::move(delivery->batch));
+      graph_.insert(std::move(delivery->probe));
       dispatch_free();
     } else {
       auto& completion = std::get<Completion>(*event);

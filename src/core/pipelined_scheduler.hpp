@@ -42,6 +42,8 @@ class PipelinedScheduler {
   struct Config {
     unsigned workers = 1;
     ConflictMode mode = ConflictMode::kKeysNested;
+    /// Insert-time candidate lookup strategy (orthogonal to `mode`).
+    IndexMode index = IndexMode::kAuto;
     /// Backpressure on undelivered + pending batches (0 = unbounded).
     std::size_t max_pending_batches = 0;
   };
@@ -70,9 +72,11 @@ class PipelinedScheduler {
 
  private:
   // Events consumed by the scheduler thread. Completion carries the node
-  // pointer back for removal.
+  // pointer back for removal. Delivery carries the probe metadata already
+  // computed on the delivery thread (prepare() is const and lock-free), so
+  // the graph-owning thread pays only for the index lookup.
   struct Delivery {
-    smr::BatchPtr batch;
+    DependencyGraph::Prepared probe;
   };
   struct Completion {
     DependencyGraph::Node* node;

@@ -6,7 +6,7 @@
 namespace psmr::core {
 
 Scheduler::Scheduler(Config config, Executor executor)
-    : config_(config), executor_(std::move(executor)), graph_(config.mode) {
+    : config_(config), executor_(std::move(executor)), graph_(config.mode, config.index) {
   PSMR_CHECK(config_.workers >= 1);
   PSMR_CHECK(executor_ != nullptr);
 }
@@ -26,6 +26,11 @@ void Scheduler::start() {
 bool Scheduler::deliver(smr::BatchPtr batch) {
   PSMR_CHECK(batch != nullptr);
   PSMR_CHECK(batch->sequence() != 0);  // assigned by the total order
+  // Probe metadata (position hashing / digest positions) is computed BEFORE
+  // taking the monitor — prepare() is const and reads only the immutable
+  // configuration — so the serialized section pays only for the index
+  // lookup and the candidate tests.
+  DependencyGraph::Prepared probe = graph_.prepare(std::move(batch));
   std::unique_lock lk(mu_);
   if (config_.max_pending_batches != 0) {
     space_free_.wait(lk, [&] {
@@ -33,7 +38,7 @@ bool Scheduler::deliver(smr::BatchPtr batch) {
     });
   }
   if (stopping_) return false;
-  graph_.insert(std::move(batch));
+  graph_.insert(std::move(probe));
   // The new batch may be immediately free; wake one worker (line 14–16:
   // the scheduler keeps delivering, workers pull).
   lk.unlock();
@@ -69,16 +74,21 @@ bool Scheduler::degraded() const {
 }
 
 Scheduler::Stats Scheduler::stats() const {
-  std::lock_guard lk(mu_);
   Stats s;
-  s.batches_executed = batches_executed_;
-  s.commands_executed = commands_executed_;
-  s.failed_batches = failed_batches_;
-  s.degraded = degraded_;
-  s.batches_delivered = graph_.batches_inserted();
-  s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
-  s.max_graph_size_at_insert = graph_.size_at_insert().max();
-  s.conflict = graph_.conflict_stats();
+  {
+    std::lock_guard lk(mu_);
+    s.batches_executed = batches_executed_;
+    s.commands_executed = commands_executed_;
+    s.failed_batches = failed_batches_;
+    s.degraded = degraded_;
+    s.batches_delivered = graph_.batches_inserted();
+    s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
+    s.max_graph_size_at_insert = graph_.size_at_insert().max();
+    s.conflict = graph_.conflict_stats();
+    s.index = graph_.index_stats();
+    s.index_active = graph_.index_active();
+  }
+  std::lock_guard wl(wait_mu_);
   s.queue_wait_p50_ns = queue_wait_.p50();
   s.queue_wait_p99_ns = queue_wait_.p99();
   return s;
@@ -112,8 +122,14 @@ void Scheduler::worker_loop() {
       continue;
     }
     const smr::BatchPtr batch = node->batch;  // keep alive across remove()
-    queue_wait_.record(util::now_ns() - node->inserted_at_ns);
+    const std::uint64_t inserted_at_ns = node->inserted_at_ns;
     lk.unlock();
+    // Queue-wait accounting stays off the scheduling critical section: the
+    // histogram has its own lock, contended only by peers recording.
+    {
+      std::lock_guard wl(wait_mu_);
+      queue_wait_.record(util::now_ns() - inserted_at_ns);
+    }
     // Line 45: execute commands in their order. A throwing executor must
     // not kill the worker or wedge the graph: the batch is accounted as
     // failed, removed below like any other (dependents unblock), and the
@@ -145,25 +161,30 @@ void Scheduler::worker_loop() {
         degraded_ = true;  // circuit trips: sequential single-batch mode
       }
     }
-    if (freed > 1 && can_take_locked()) {
-      lk.unlock();
-      batch_ready_.notify_all();
-      lk.lock();
-    } else if (freed >= 1 || (degraded_ && graph_.num_free() > 0)) {
-      // Degraded mode: finishing this batch may unpark a peer even when
-      // nothing new became free (the in-flight gate just opened).
-      lk.unlock();
-      batch_ready_.notify_one();
-      lk.lock();
-    }
-    if (config_.max_pending_batches != 0) space_free_.notify_one();
-    if (graph_.empty()) {
+    // Deferred wake tokens: the decisions are made under the lock, but the
+    // notifies fire after it is released — replacing the previous
+    // unlock/notify/lock dance (up to three mutex round-trips per batch)
+    // with a single release/notify/re-acquire.
+    const bool wake_all_ready = freed > 1 && can_take_locked();
+    // Degraded mode: finishing this batch may unpark a peer even when
+    // nothing new became free (the in-flight gate just opened).
+    const bool wake_one_ready =
+        !wake_all_ready && (freed >= 1 || (degraded_ && graph_.num_free() > 0));
+    const bool wake_space = config_.max_pending_batches != 0;
+    const bool now_empty = graph_.empty();
+    const bool exit_now = now_empty && stopping_;
+    lk.unlock();
+    if (wake_all_ready) batch_ready_.notify_all();
+    if (wake_one_ready) batch_ready_.notify_one();
+    if (wake_space) space_free_.notify_one();
+    if (now_empty) {
       idle_.notify_all();
-      if (stopping_) {
+      if (exit_now) {
         batch_ready_.notify_all();  // release peers waiting for work
         return;
       }
     }
+    lk.lock();
   }
 }
 

@@ -30,6 +30,9 @@ class Scheduler {
     /// Conflict detection mechanism (the paper's `useBitmap` switch,
     /// generalized).
     ConflictMode mode = ConflictMode::kKeysNested;
+    /// How insert finds the resident batches to test against (orthogonal
+    /// to `mode`; never changes the resulting graph — see IndexMode).
+    IndexMode index = IndexMode::kAuto;
     /// Backpressure: deliver() blocks while the graph holds this many
     /// batches (0 = unbounded). Keeps an over-driven scheduler from
     /// accumulating unbounded memory; the paper's closed-loop clients bound
@@ -61,6 +64,9 @@ class Scheduler {
     double avg_graph_size_at_insert = 0.0;
     double max_graph_size_at_insert = 0.0;
     ConflictStats conflict;
+    /// Inverted-index effectiveness counters (zero when IndexMode::kScan).
+    DependencyGraph::IndexStats index;
+    bool index_active = false;
     /// Scheduling delay: time a batch spends in the graph between insert
     /// and a worker taking it (dependency waits + worker availability).
     std::uint64_t queue_wait_p50_ns = 0;
@@ -135,7 +141,11 @@ class Scheduler {
   std::uint64_t failed_batches_ = 0;
   unsigned consecutive_failures_ = 0;
   bool degraded_ = false;
-  stats::Histogram queue_wait_;  // guarded by mu_
+  /// Queue-wait accounting lives outside the monitor: workers record under
+  /// wait_mu_ AFTER releasing mu_, so the histogram update never extends
+  /// the serialized scheduling section.
+  mutable std::mutex wait_mu_;
+  stats::Histogram queue_wait_;  // guarded by wait_mu_
 
   std::vector<std::thread> workers_;
 };

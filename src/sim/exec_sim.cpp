@@ -45,7 +45,7 @@ ExecSimResult run_exec_sim(const ExecSimConfig& cfg) {
   PSMR_CHECK(cfg.proxies >= 1);
   PSMR_CHECK(cfg.batch_size >= 1);
 
-  core::DependencyGraph graph(cfg.mode);
+  core::DependencyGraph graph(cfg.mode, cfg.index);
 
   smr::BitmapConfig bitmap;
   bitmap.bits = cfg.bitmap_bits;

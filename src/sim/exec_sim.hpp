@@ -32,6 +32,11 @@ struct ExecSimConfig {
   /// Virtual worker threads N.
   unsigned workers = 1;
   core::ConflictMode mode = core::ConflictMode::kKeysNested;
+  /// Insert-time candidate lookup strategy of the real graph under test.
+  /// Defaults to the paper's full scan — the simulator reproduces the
+  /// paper's figures, whose monitor cost IS the scan cost. The index
+  /// ablations opt in explicitly.
+  core::IndexMode index = core::IndexMode::kScan;
   std::size_t batch_size = 1;
   bool use_bitmap = false;
   std::size_t bitmap_bits = 1024000;

@@ -3,7 +3,124 @@
 #include <algorithm>
 #include <bit>
 
+// Explicit AVX2 kernels for the word-wise set operations, selected at
+// runtime via __builtin_cpu_supports so one binary runs everywhere.
+// PSMR_ENABLE_AVX2 is set by CMake (option PSMR_AVX2, default ON); the
+// portable kernels below are structured as straight-line 4-word blocks so
+// the auto-vectorizer can emit SIMD for them even when the explicit path is
+// compiled out (non-x86, or -DPSMR_AVX2=OFF).
+#if defined(PSMR_ENABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PSMR_HAVE_AVX2_PATH 1
+#include <immintrin.h>
+#else
+#define PSMR_HAVE_AVX2_PATH 0
+#endif
+
 namespace psmr::util {
+namespace {
+
+using Word = Bitmap::Word;
+
+bool intersects_portable(const Word* a, const Word* b, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const Word any = (a[i] & b[i]) | (a[i + 1] & b[i + 1]) |
+                     (a[i + 2] & b[i + 2]) | (a[i + 3] & b[i + 3]);
+    if (any != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+std::size_t intersection_count_portable(const Word* a, const Word* b,
+                                        std::size_t n) noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return c;
+}
+
+void merge_portable(Word* dst, const Word* src, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+#if PSMR_HAVE_AVX2_PATH
+
+__attribute__((target("avx2"))) bool intersects_avx2(const Word* a, const Word* b,
+                                                     std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    const __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4));
+    const __m256i both = _mm256_or_si256(_mm256_and_si256(a0, b0), _mm256_and_si256(a1, b1));
+    if (!_mm256_testz_si256(both, both)) return true;
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(a0, b0)) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] & b[i]) return true;
+  }
+  return false;
+}
+
+// Scalar loop under target("avx2,popcnt") so the compiler uses the hardware
+// popcnt instruction (not part of baseline x86-64).
+__attribute__((target("avx2,popcnt"))) std::size_t intersection_count_avx2(
+    const Word* a, const Word* b, std::size_t n) noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) void merge_avx2(Word* dst, const Word* src,
+                                                std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+bool cpu_has_avx2() noexcept { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // PSMR_HAVE_AVX2_PATH
+
+struct Kernels {
+  bool (*intersects)(const Word*, const Word*, std::size_t) noexcept;
+  std::size_t (*intersection_count)(const Word*, const Word*, std::size_t) noexcept;
+  void (*merge)(Word*, const Word*, std::size_t) noexcept;
+  const char* backend;
+};
+
+const Kernels& kernels() noexcept {
+  static const Kernels k = [] {
+#if PSMR_HAVE_AVX2_PATH
+    if (cpu_has_avx2()) {
+      return Kernels{&intersects_avx2, &intersection_count_avx2, &merge_avx2, "avx2"};
+    }
+#endif
+    return Kernels{&intersects_portable, &intersection_count_portable,
+                   &merge_portable, "portable"};
+  }();
+  return k;
+}
+
+}  // namespace
+
+const char* Bitmap::simd_backend() noexcept { return kernels().backend; }
 
 std::size_t Bitmap::count() const noexcept {
   std::size_t n = 0;
@@ -13,26 +130,17 @@ std::size_t Bitmap::count() const noexcept {
 
 bool Bitmap::intersects(const Bitmap& other) const noexcept {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (words_[i] & other.words_[i]) return true;
-  }
-  return false;
+  return kernels().intersects(words_.data(), other.words_.data(), n);
 }
 
 std::size_t Bitmap::intersection_count(const Bitmap& other) const noexcept {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return c;
+  return kernels().intersection_count(words_.data(), other.words_.data(), n);
 }
 
 void Bitmap::merge(const Bitmap& other) {
   PSMR_CHECK(other.words_.size() <= words_.size());
-  for (std::size_t i = 0; i < other.words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  kernels().merge(words_.data(), other.words_.data(), other.words_.size());
 }
 
 bool Bitmap::none() const noexcept {

@@ -73,6 +73,11 @@ class Bitmap {
 
   const Word* data() const noexcept { return words_.data(); }
 
+  /// Which word-wise kernel set this process selected at startup: "avx2"
+  /// when the explicit SIMD path is compiled in and the CPU supports it,
+  /// "portable" otherwise. Observability for benches and tests.
+  static const char* simd_backend() noexcept;
+
  private:
   std::size_t bits_ = 0;
   std::vector<Word> words_;
