@@ -19,6 +19,7 @@
 
 #include "core/scheduler.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/metrics.hpp"
 #include "smr/local_orderer.hpp"
 #include "smr/proxy.hpp"
 #include "smr/replica.hpp"
@@ -62,6 +63,9 @@ struct HarnessResult {
   std::uint64_t comparisons = 0;
   double p50_batch_latency_us = 0.0;
   double p99_batch_latency_us = 0.0;
+  /// Full metrics export: the replica+scheduler snapshot with every proxy's
+  /// `proxy.N.*` snapshot merged in (psmr.metrics.v1 schema).
+  obs::Snapshot metrics;
 
   double detected_conflict_fraction() const {
     return conflict_tests ? static_cast<double>(conflicts_found) /
@@ -150,20 +154,23 @@ inline HarnessResult run_throughput(const HarnessConfig& cfg) {
   replica.wait_idle();
   replica.stop();
 
-  const auto st = replica.scheduler_stats();
+  const obs::Snapshot st = replica.stats();
   HarnessResult result;
   result.commands = commands_at_end - commands_at_start;
   result.kcmds_per_sec = static_cast<double>(result.commands) / elapsed / 1000.0;
-  result.avg_graph_size = st.avg_graph_size_at_insert;
-  result.max_graph_size = st.max_graph_size_at_insert;
-  result.batches = st.batches_executed;
-  result.conflicts_found = st.conflict.conflicts_found;
-  result.conflict_tests = st.conflict.tests;
-  result.comparisons = st.conflict.comparisons;
+  result.avg_graph_size = st.gauge("graph.size_at_insert.avg");
+  result.max_graph_size = st.gauge("graph.size_at_insert.max");
+  result.batches = st.counter("scheduler.batches_executed");
+  result.conflicts_found = st.counter("scheduler.insert.conflicts_found");
+  result.conflict_tests = st.counter("scheduler.insert.pair_tests");
+  result.comparisons = st.counter("scheduler.insert.comparisons");
   stats::Histogram latency;
   for (auto& p : proxies) latency.merge(p->latency());
   result.p50_batch_latency_us = static_cast<double>(latency.p50()) / 1000.0;
   result.p99_batch_latency_us = static_cast<double>(latency.p99()) / 1000.0;
+  result.metrics = st;
+  // Proxy metric names already carry the proxy id (proxy.N.*): no prefix.
+  for (auto& p : proxies) result.metrics.merge(p->stats());
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "core/dependency_graph.hpp"
 #include "core/scheduler.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/metrics.hpp"
 #include "smr/codec.hpp"
 #include "util/bitmap.hpp"
 #include "util/mpmc_queue.hpp"
@@ -259,6 +260,8 @@ struct ThroughputMeasurement {
   double delivery_kcmds_per_sec = 0.0;
   double pair_tests_per_insert = 0.0;
   double avg_graph_size = 0.0;
+  /// Post-drain snapshot of the scheduler's registry (`--metrics-json`).
+  psmr::obs::Snapshot final_metrics;
 };
 
 /// Delivery throughput through the real threaded Scheduler in the ISSUE's
@@ -293,10 +296,10 @@ ThroughputMeasurement measure_scheduler_throughput(ConflictMode mode, IndexMode 
 
   std::atomic<bool> release{false};
   psmr::core::Scheduler scheduler(
-      psmr::core::Scheduler::Config{.workers = workers,
-                                    .mode = mode,
-                                    .index = index,
-                                    .max_pending_batches = 0},
+      psmr::core::SchedulerOptions{.workers = workers,
+                                   .mode = mode,
+                                   .index = index,
+                                   .max_pending_batches = 0},
       [&release, workers](const psmr::smr::Batch& b) {
         if (b.sequence() <= workers) {
           while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
@@ -307,12 +310,12 @@ ThroughputMeasurement measure_scheduler_throughput(ConflictMode mode, IndexMode 
   // Let every worker take its sentinel before the timed window.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
 
-  const auto tests0 = scheduler.stats().conflict.tests;
+  const auto tests0 = scheduler.stats().counter("scheduler.insert.pair_tests");
   const auto t0 = std::chrono::steady_clock::now();
   for (auto& b : batches) scheduler.deliver(std::move(b));
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  const auto st = scheduler.stats();
+  const psmr::obs::Snapshot st = scheduler.stats();
 
   release.store(true, std::memory_order_release);
   scheduler.wait_idle();
@@ -321,13 +324,17 @@ ThroughputMeasurement measure_scheduler_throughput(ConflictMode mode, IndexMode 
   ThroughputMeasurement m;
   m.delivery_kcmds_per_sec =
       static_cast<double>(n_batches * batch_size) / secs / 1000.0;
-  m.pair_tests_per_insert = static_cast<double>(st.conflict.tests - tests0) /
-                            static_cast<double>(n_batches);
-  m.avg_graph_size = st.avg_graph_size_at_insert;
+  m.pair_tests_per_insert =
+      static_cast<double>(st.counter("scheduler.insert.pair_tests") - tests0) /
+      static_cast<double>(n_batches);
+  m.avg_graph_size = st.gauge("graph.size_at_insert.avg");
+  // Post-drain snapshot: every batch has run, so the lifecycle counters and
+  // the queue-wait histogram are complete.
+  m.final_metrics = scheduler.stats();
   return m;
 }
 
-int json_main(bool smoke) {
+int json_main(bool smoke, const char* metrics_path) {
   const std::size_t insert_iters = smoke ? 200 : 2000;
   const std::size_t tput_batches = smoke ? 300 : 2000;
 
@@ -374,6 +381,7 @@ int json_main(bool smoke) {
   }
   std::fprintf(f, "\n  ],\n  \"scheduler_throughput\": [\n");
   first = true;
+  psmr::obs::Snapshot last_metrics;
   for (ConflictMode mode : {ConflictMode::kBitmap, ConflictMode::kKeysNested}) {
     const std::size_t batch_size = mode == ConflictMode::kBitmap ? 200 : 100;
     // The scan is quadratic in delivered batches; cap both runs (the dense
@@ -401,11 +409,28 @@ int json_main(bool smoke) {
                   psmr::core::to_string(mode), psmr::core::to_string(index),
                   m.delivery_kcmds_per_sec, m.pair_tests_per_insert,
                   m.avg_graph_size);
+      last_metrics = std::move(m.final_metrics);
     }
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler.json\n");
+
+  if (metrics_path != nullptr) {
+    // Full `psmr.metrics.v1` snapshot of the last throughput run's scheduler
+    // (post-drain). Validated by tools/check_metrics_json.py in the smoke
+    // target.
+    FILE* mf = std::fopen(metrics_path, "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      return 1;
+    }
+    const std::string json = last_metrics.to_json();
+    std::fwrite(json.data(), 1, json.size(), mf);
+    std::fputc('\n', mf);
+    std::fclose(mf);
+    std::printf("wrote %s\n", metrics_path);
+  }
   return 0;
 }
 
@@ -414,11 +439,14 @@ int json_main(bool smoke) {
 int main(int argc, char** argv) {
   bool json = false;
   bool smoke = false;
+  const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--metrics-json") == 0) metrics_path = "METRICS_scheduler.json";
+    if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) metrics_path = argv[i] + 15;
   }
-  if (json) return json_main(smoke);
+  if (json) return json_main(smoke, metrics_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_realtime_onecore.dir/fig4_realtime_onecore.cpp.o"
+  "CMakeFiles/fig4_realtime_onecore.dir/fig4_realtime_onecore.cpp.o.d"
+  "fig4_realtime_onecore"
+  "fig4_realtime_onecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_realtime_onecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

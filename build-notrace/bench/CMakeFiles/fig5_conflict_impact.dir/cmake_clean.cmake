@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_conflict_impact.dir/fig5_conflict_impact.cpp.o"
+  "CMakeFiles/fig5_conflict_impact.dir/fig5_conflict_impact.cpp.o.d"
+  "fig5_conflict_impact"
+  "fig5_conflict_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_conflict_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

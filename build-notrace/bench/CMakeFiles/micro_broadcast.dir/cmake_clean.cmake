@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_broadcast.dir/micro_broadcast.cpp.o"
+  "CMakeFiles/micro_broadcast.dir/micro_broadcast.cpp.o.d"
+  "micro_broadcast"
+  "micro_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

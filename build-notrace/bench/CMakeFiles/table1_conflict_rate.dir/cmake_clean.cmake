@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_conflict_rate.dir/table1_conflict_rate.cpp.o"
+  "CMakeFiles/table1_conflict_rate.dir/table1_conflict_rate.cpp.o.d"
+  "table1_conflict_rate"
+  "table1_conflict_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_conflict_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-notrace/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_micro_scheduler_json_smoke "/root/repo/build-notrace/bench/micro_scheduler" "--json" "--smoke" "--metrics-json")
+set_tests_properties(bench_micro_scheduler_json_smoke PROPERTIES  FIXTURES_SETUP "metrics_json" WORKING_DIRECTORY "/root/repo/build-notrace/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_metrics_json_schema "/root/.pyenv/shims/python3" "/root/repo/tools/check_metrics_json.py" "/root/repo/build-notrace/bench/METRICS_scheduler.json")
+set_tests_properties(bench_metrics_json_schema PROPERTIES  FIXTURES_REQUIRED "metrics_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_run.dir/custom_run.cpp.o"
+  "CMakeFiles/custom_run.dir/custom_run.cpp.o.d"
+  "custom_run"
+  "custom_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

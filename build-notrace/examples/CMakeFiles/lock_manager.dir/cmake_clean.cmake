@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_manager.dir/lock_manager.cpp.o"
+  "CMakeFiles/lock_manager.dir/lock_manager.cpp.o.d"
+  "lock_manager"
+  "lock_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_kvstore.dir/replicated_kvstore.cpp.o"
+  "CMakeFiles/replicated_kvstore.dir/replicated_kvstore.cpp.o.d"
+  "replicated_kvstore"
+  "replicated_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

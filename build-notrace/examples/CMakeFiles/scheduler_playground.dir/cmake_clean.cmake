@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_playground.dir/scheduler_playground.cpp.o"
+  "CMakeFiles/scheduler_playground.dir/scheduler_playground.cpp.o.d"
+  "scheduler_playground"
+  "scheduler_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

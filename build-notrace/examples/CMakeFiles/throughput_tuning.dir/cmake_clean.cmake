@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_tuning.dir/throughput_tuning.cpp.o"
+  "CMakeFiles/throughput_tuning.dir/throughput_tuning.cpp.o.d"
+  "throughput_tuning"
+  "throughput_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-notrace/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("obs")
+subdirs("net")
+subdirs("consensus")
+subdirs("smr")
+subdirs("core")
+subdirs("kvstore")
+subdirs("workload")
+subdirs("sim")
+subdirs("testing")

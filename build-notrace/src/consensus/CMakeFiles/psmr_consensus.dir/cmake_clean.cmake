@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_consensus.dir/acceptor.cpp.o"
+  "CMakeFiles/psmr_consensus.dir/acceptor.cpp.o.d"
+  "CMakeFiles/psmr_consensus.dir/group.cpp.o"
+  "CMakeFiles/psmr_consensus.dir/group.cpp.o.d"
+  "CMakeFiles/psmr_consensus.dir/learner.cpp.o"
+  "CMakeFiles/psmr_consensus.dir/learner.cpp.o.d"
+  "CMakeFiles/psmr_consensus.dir/proposer.cpp.o"
+  "CMakeFiles/psmr_consensus.dir/proposer.cpp.o.d"
+  "CMakeFiles/psmr_consensus.dir/types.cpp.o"
+  "CMakeFiles/psmr_consensus.dir/types.cpp.o.d"
+  "libpsmr_consensus.a"
+  "libpsmr_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conflict.cpp" "src/core/CMakeFiles/psmr_core.dir/conflict.cpp.o" "gcc" "src/core/CMakeFiles/psmr_core.dir/conflict.cpp.o.d"
+  "/root/repo/src/core/dependency_graph.cpp" "src/core/CMakeFiles/psmr_core.dir/dependency_graph.cpp.o" "gcc" "src/core/CMakeFiles/psmr_core.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/core/pipelined_scheduler.cpp" "src/core/CMakeFiles/psmr_core.dir/pipelined_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/psmr_core.dir/pipelined_scheduler.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/psmr_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/psmr_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/smr/CMakeFiles/psmr_smr.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/stats/CMakeFiles/psmr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/obs/CMakeFiles/psmr_obs.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

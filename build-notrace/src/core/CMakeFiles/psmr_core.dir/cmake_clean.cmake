@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_core.dir/conflict.cpp.o"
+  "CMakeFiles/psmr_core.dir/conflict.cpp.o.d"
+  "CMakeFiles/psmr_core.dir/dependency_graph.cpp.o"
+  "CMakeFiles/psmr_core.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/psmr_core.dir/pipelined_scheduler.cpp.o"
+  "CMakeFiles/psmr_core.dir/pipelined_scheduler.cpp.o.d"
+  "CMakeFiles/psmr_core.dir/scheduler.cpp.o"
+  "CMakeFiles/psmr_core.dir/scheduler.cpp.o.d"
+  "libpsmr_core.a"
+  "libpsmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/kvstore.cpp" "src/kvstore/CMakeFiles/psmr_kvstore.dir/kvstore.cpp.o" "gcc" "src/kvstore/CMakeFiles/psmr_kvstore.dir/kvstore.cpp.o.d"
+  "/root/repo/src/kvstore/lock_service.cpp" "src/kvstore/CMakeFiles/psmr_kvstore.dir/lock_service.cpp.o" "gcc" "src/kvstore/CMakeFiles/psmr_kvstore.dir/lock_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/smr/CMakeFiles/psmr_smr.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

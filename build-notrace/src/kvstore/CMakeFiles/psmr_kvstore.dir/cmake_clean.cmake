@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/psmr_kvstore.dir/kvstore.cpp.o.d"
+  "CMakeFiles/psmr_kvstore.dir/lock_service.cpp.o"
+  "CMakeFiles/psmr_kvstore.dir/lock_service.cpp.o.d"
+  "libpsmr_kvstore.a"
+  "libpsmr_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

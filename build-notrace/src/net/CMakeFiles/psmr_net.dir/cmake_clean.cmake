@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_net.dir/network.cpp.o"
+  "CMakeFiles/psmr_net.dir/network.cpp.o.d"
+  "libpsmr_net.a"
+  "libpsmr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

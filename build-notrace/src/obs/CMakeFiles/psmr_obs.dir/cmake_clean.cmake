@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_obs.dir/metrics.cpp.o"
+  "CMakeFiles/psmr_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/psmr_obs.dir/trace.cpp.o"
+  "CMakeFiles/psmr_obs.dir/trace.cpp.o.d"
+  "libpsmr_obs.a"
+  "libpsmr_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

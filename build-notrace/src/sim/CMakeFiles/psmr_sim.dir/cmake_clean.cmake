@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_sim.dir/analytic.cpp.o"
+  "CMakeFiles/psmr_sim.dir/analytic.cpp.o.d"
+  "CMakeFiles/psmr_sim.dir/conflict_sim.cpp.o"
+  "CMakeFiles/psmr_sim.dir/conflict_sim.cpp.o.d"
+  "CMakeFiles/psmr_sim.dir/exec_sim.cpp.o"
+  "CMakeFiles/psmr_sim.dir/exec_sim.cpp.o.d"
+  "libpsmr_sim.a"
+  "libpsmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

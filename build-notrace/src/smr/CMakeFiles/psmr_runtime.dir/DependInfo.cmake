@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smr/history.cpp" "src/smr/CMakeFiles/psmr_runtime.dir/history.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_runtime.dir/history.cpp.o.d"
+  "/root/repo/src/smr/local_orderer.cpp" "src/smr/CMakeFiles/psmr_runtime.dir/local_orderer.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_runtime.dir/local_orderer.cpp.o.d"
+  "/root/repo/src/smr/proxy.cpp" "src/smr/CMakeFiles/psmr_runtime.dir/proxy.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_runtime.dir/proxy.cpp.o.d"
+  "/root/repo/src/smr/replica.cpp" "src/smr/CMakeFiles/psmr_runtime.dir/replica.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_runtime.dir/replica.cpp.o.d"
+  "/root/repo/src/smr/sequential_replica.cpp" "src/smr/CMakeFiles/psmr_runtime.dir/sequential_replica.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_runtime.dir/sequential_replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/smr/CMakeFiles/psmr_smr.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/core/CMakeFiles/psmr_core.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/stats/CMakeFiles/psmr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/consensus/CMakeFiles/psmr_consensus.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/obs/CMakeFiles/psmr_obs.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_runtime.dir/history.cpp.o"
+  "CMakeFiles/psmr_runtime.dir/history.cpp.o.d"
+  "CMakeFiles/psmr_runtime.dir/local_orderer.cpp.o"
+  "CMakeFiles/psmr_runtime.dir/local_orderer.cpp.o.d"
+  "CMakeFiles/psmr_runtime.dir/proxy.cpp.o"
+  "CMakeFiles/psmr_runtime.dir/proxy.cpp.o.d"
+  "CMakeFiles/psmr_runtime.dir/replica.cpp.o"
+  "CMakeFiles/psmr_runtime.dir/replica.cpp.o.d"
+  "CMakeFiles/psmr_runtime.dir/sequential_replica.cpp.o"
+  "CMakeFiles/psmr_runtime.dir/sequential_replica.cpp.o.d"
+  "libpsmr_runtime.a"
+  "libpsmr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_smr.dir/batch.cpp.o"
+  "CMakeFiles/psmr_smr.dir/batch.cpp.o.d"
+  "CMakeFiles/psmr_smr.dir/codec.cpp.o"
+  "CMakeFiles/psmr_smr.dir/codec.cpp.o.d"
+  "CMakeFiles/psmr_smr.dir/command.cpp.o"
+  "CMakeFiles/psmr_smr.dir/command.cpp.o.d"
+  "CMakeFiles/psmr_smr.dir/session.cpp.o"
+  "CMakeFiles/psmr_smr.dir/session.cpp.o.d"
+  "libpsmr_smr.a"
+  "libpsmr_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsmr_smr.a"
+)

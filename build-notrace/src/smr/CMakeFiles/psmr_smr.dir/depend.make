@@ -1,0 +1,2 @@
+# Empty dependencies file for psmr_smr.
+# This may be replaced when dependencies are built.

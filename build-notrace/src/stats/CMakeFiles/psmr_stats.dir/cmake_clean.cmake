@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_stats.dir/histogram.cpp.o"
+  "CMakeFiles/psmr_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/psmr_stats.dir/table.cpp.o"
+  "CMakeFiles/psmr_stats.dir/table.cpp.o.d"
+  "libpsmr_stats.a"
+  "libpsmr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

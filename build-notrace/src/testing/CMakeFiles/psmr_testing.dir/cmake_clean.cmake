@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_testing.dir/fault_schedule.cpp.o"
+  "CMakeFiles/psmr_testing.dir/fault_schedule.cpp.o.d"
+  "libpsmr_testing.a"
+  "libpsmr_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitmap.cpp" "src/util/CMakeFiles/psmr_util.dir/bitmap.cpp.o" "gcc" "src/util/CMakeFiles/psmr_util.dir/bitmap.cpp.o.d"
+  "/root/repo/src/util/bloom.cpp" "src/util/CMakeFiles/psmr_util.dir/bloom.cpp.o" "gcc" "src/util/CMakeFiles/psmr_util.dir/bloom.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/util/CMakeFiles/psmr_util.dir/hash.cpp.o" "gcc" "src/util/CMakeFiles/psmr_util.dir/hash.cpp.o.d"
+  "/root/repo/src/util/zipf.cpp" "src/util/CMakeFiles/psmr_util.dir/zipf.cpp.o" "gcc" "src/util/CMakeFiles/psmr_util.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

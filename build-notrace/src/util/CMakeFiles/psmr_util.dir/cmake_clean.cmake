@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_util.dir/bitmap.cpp.o"
+  "CMakeFiles/psmr_util.dir/bitmap.cpp.o.d"
+  "CMakeFiles/psmr_util.dir/bloom.cpp.o"
+  "CMakeFiles/psmr_util.dir/bloom.cpp.o.d"
+  "CMakeFiles/psmr_util.dir/hash.cpp.o"
+  "CMakeFiles/psmr_util.dir/hash.cpp.o.d"
+  "CMakeFiles/psmr_util.dir/zipf.cpp.o"
+  "CMakeFiles/psmr_util.dir/zipf.cpp.o.d"
+  "libpsmr_util.a"
+  "libpsmr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

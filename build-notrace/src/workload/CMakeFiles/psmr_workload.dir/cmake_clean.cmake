@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_workload.dir/generator.cpp.o"
+  "CMakeFiles/psmr_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/psmr_workload.dir/trace.cpp.o"
+  "CMakeFiles/psmr_workload.dir/trace.cpp.o.d"
+  "libpsmr_workload.a"
+  "libpsmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

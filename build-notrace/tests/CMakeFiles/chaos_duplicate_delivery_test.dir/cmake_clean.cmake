@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_duplicate_delivery_test.dir/chaos/duplicate_delivery_test.cpp.o"
+  "CMakeFiles/chaos_duplicate_delivery_test.dir/chaos/duplicate_delivery_test.cpp.o.d"
+  "chaos_duplicate_delivery_test"
+  "chaos_duplicate_delivery_test.pdb"
+  "chaos_duplicate_delivery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_duplicate_delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

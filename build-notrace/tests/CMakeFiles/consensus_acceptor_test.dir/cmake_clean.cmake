@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_acceptor_test.dir/consensus/acceptor_test.cpp.o"
+  "CMakeFiles/consensus_acceptor_test.dir/consensus/acceptor_test.cpp.o.d"
+  "consensus_acceptor_test"
+  "consensus_acceptor_test.pdb"
+  "consensus_acceptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_acceptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_learner_test.dir/consensus/learner_test.cpp.o"
+  "CMakeFiles/consensus_learner_test.dir/consensus/learner_test.cpp.o.d"
+  "consensus_learner_test"
+  "consensus_learner_test.pdb"
+  "consensus_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_paxos_test.dir/consensus/paxos_test.cpp.o"
+  "CMakeFiles/consensus_paxos_test.dir/consensus/paxos_test.cpp.o.d"
+  "consensus_paxos_test"
+  "consensus_paxos_test.pdb"
+  "consensus_paxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_paxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_proposer_test.dir/consensus/proposer_test.cpp.o"
+  "CMakeFiles/consensus_proposer_test.dir/consensus/proposer_test.cpp.o.d"
+  "consensus_proposer_test"
+  "consensus_proposer_test.pdb"
+  "consensus_proposer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_proposer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_types_test.dir/consensus/types_test.cpp.o"
+  "CMakeFiles/consensus_types_test.dir/consensus/types_test.cpp.o.d"
+  "consensus_types_test"
+  "consensus_types_test.pdb"
+  "consensus_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cbase_test.dir/core/cbase_test.cpp.o"
+  "CMakeFiles/core_cbase_test.dir/core/cbase_test.cpp.o.d"
+  "core_cbase_test"
+  "core_cbase_test.pdb"
+  "core_cbase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_conflict_test.dir/core/conflict_test.cpp.o"
+  "CMakeFiles/core_conflict_test.dir/core/conflict_test.cpp.o.d"
+  "core_conflict_test"
+  "core_conflict_test.pdb"
+  "core_conflict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pipelined_scheduler_test.dir/core/pipelined_scheduler_test.cpp.o"
+  "CMakeFiles/core_pipelined_scheduler_test.dir/core/pipelined_scheduler_test.cpp.o.d"
+  "core_pipelined_scheduler_test"
+  "core_pipelined_scheduler_test.pdb"
+  "core_pipelined_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pipelined_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_full_stack_test.dir/integration/full_stack_test.cpp.o"
+  "CMakeFiles/integration_full_stack_test.dir/integration/full_stack_test.cpp.o.d"
+  "integration_full_stack_test"
+  "integration_full_stack_test.pdb"
+  "integration_full_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_full_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

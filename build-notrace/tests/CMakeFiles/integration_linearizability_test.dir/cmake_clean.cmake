@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_linearizability_test.dir/integration/linearizability_test.cpp.o"
+  "CMakeFiles/integration_linearizability_test.dir/integration/linearizability_test.cpp.o.d"
+  "integration_linearizability_test"
+  "integration_linearizability_test.pdb"
+  "integration_linearizability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_linearizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

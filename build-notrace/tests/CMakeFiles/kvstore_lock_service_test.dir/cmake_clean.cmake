@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_lock_service_test.dir/kvstore/lock_service_test.cpp.o"
+  "CMakeFiles/kvstore_lock_service_test.dir/kvstore/lock_service_test.cpp.o.d"
+  "kvstore_lock_service_test"
+  "kvstore_lock_service_test.pdb"
+  "kvstore_lock_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_lock_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_batch_test.dir/smr/batch_test.cpp.o"
+  "CMakeFiles/smr_batch_test.dir/smr/batch_test.cpp.o.d"
+  "smr_batch_test"
+  "smr_batch_test.pdb"
+  "smr_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_codec_test.dir/smr/codec_test.cpp.o"
+  "CMakeFiles/smr_codec_test.dir/smr/codec_test.cpp.o.d"
+  "smr_codec_test"
+  "smr_codec_test.pdb"
+  "smr_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

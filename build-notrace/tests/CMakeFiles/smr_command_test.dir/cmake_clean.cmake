@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_command_test.dir/smr/command_test.cpp.o"
+  "CMakeFiles/smr_command_test.dir/smr/command_test.cpp.o.d"
+  "smr_command_test"
+  "smr_command_test.pdb"
+  "smr_command_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_command_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

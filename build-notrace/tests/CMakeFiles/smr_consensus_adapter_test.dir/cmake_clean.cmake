@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_consensus_adapter_test.dir/smr/consensus_adapter_test.cpp.o"
+  "CMakeFiles/smr_consensus_adapter_test.dir/smr/consensus_adapter_test.cpp.o.d"
+  "smr_consensus_adapter_test"
+  "smr_consensus_adapter_test.pdb"
+  "smr_consensus_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_consensus_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_history_test.dir/smr/history_test.cpp.o"
+  "CMakeFiles/smr_history_test.dir/smr/history_test.cpp.o.d"
+  "smr_history_test"
+  "smr_history_test.pdb"
+  "smr_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

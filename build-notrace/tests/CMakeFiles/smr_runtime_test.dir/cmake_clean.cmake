@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_runtime_test.dir/smr/runtime_test.cpp.o"
+  "CMakeFiles/smr_runtime_test.dir/smr/runtime_test.cpp.o.d"
+  "smr_runtime_test"
+  "smr_runtime_test.pdb"
+  "smr_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_session_test.dir/smr/session_test.cpp.o"
+  "CMakeFiles/smr_session_test.dir/smr/session_test.cpp.o.d"
+  "smr_session_test"
+  "smr_session_test.pdb"
+  "smr_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

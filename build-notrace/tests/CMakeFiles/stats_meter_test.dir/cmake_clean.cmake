@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_meter_test.dir/stats/meter_test.cpp.o"
+  "CMakeFiles/stats_meter_test.dir/stats/meter_test.cpp.o.d"
+  "stats_meter_test"
+  "stats_meter_test.pdb"
+  "stats_meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_table_test.dir/stats/table_test.cpp.o"
+  "CMakeFiles/stats_table_test.dir/stats/table_test.cpp.o.d"
+  "stats_table_test"
+  "stats_table_test.pdb"
+  "stats_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

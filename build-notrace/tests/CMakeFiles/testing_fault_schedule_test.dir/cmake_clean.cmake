@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_fault_schedule_test.dir/testing/fault_schedule_test.cpp.o"
+  "CMakeFiles/testing_fault_schedule_test.dir/testing/fault_schedule_test.cpp.o.d"
+  "testing_fault_schedule_test"
+  "testing_fault_schedule_test.pdb"
+  "testing_fault_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_fault_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bitmap_test.dir/util/bitmap_test.cpp.o"
+  "CMakeFiles/util_bitmap_test.dir/util/bitmap_test.cpp.o.d"
+  "util_bitmap_test"
+  "util_bitmap_test.pdb"
+  "util_bitmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

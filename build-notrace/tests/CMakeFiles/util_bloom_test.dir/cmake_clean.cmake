@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bloom_test.dir/util/bloom_test.cpp.o"
+  "CMakeFiles/util_bloom_test.dir/util/bloom_test.cpp.o.d"
+  "util_bloom_test"
+  "util_bloom_test.pdb"
+  "util_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_queues_test.dir/util/queues_test.cpp.o"
+  "CMakeFiles/util_queues_test.dir/util/queues_test.cpp.o.d"
+  "util_queues_test"
+  "util_queues_test.pdb"
+  "util_queues_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

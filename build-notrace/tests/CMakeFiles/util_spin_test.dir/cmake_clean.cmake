@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_spin_test.dir/util/spin_test.cpp.o"
+  "CMakeFiles/util_spin_test.dir/util/spin_test.cpp.o.d"
+  "util_spin_test"
+  "util_spin_test.pdb"
+  "util_spin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_spin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[DuplicateDelivery.ExactlyOnceUnderDuplicatingLossyLinks]=]  /root/repo/build-notrace/tests/chaos_duplicate_delivery_test [==[--gtest_filter=DuplicateDelivery.ExactlyOnceUnderDuplicatingLossyLinks]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[DuplicateDelivery.ExactlyOnceUnderDuplicatingLossyLinks]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-notrace/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  chaos_duplicate_delivery_test_TESTS DuplicateDelivery.ExactlyOnceUnderDuplicatingLossyLinks)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/acceptor.cpp" "src/consensus/CMakeFiles/psmr_consensus.dir/acceptor.cpp.o" "gcc" "src/consensus/CMakeFiles/psmr_consensus.dir/acceptor.cpp.o.d"
+  "/root/repo/src/consensus/group.cpp" "src/consensus/CMakeFiles/psmr_consensus.dir/group.cpp.o" "gcc" "src/consensus/CMakeFiles/psmr_consensus.dir/group.cpp.o.d"
+  "/root/repo/src/consensus/learner.cpp" "src/consensus/CMakeFiles/psmr_consensus.dir/learner.cpp.o" "gcc" "src/consensus/CMakeFiles/psmr_consensus.dir/learner.cpp.o.d"
+  "/root/repo/src/consensus/proposer.cpp" "src/consensus/CMakeFiles/psmr_consensus.dir/proposer.cpp.o" "gcc" "src/consensus/CMakeFiles/psmr_consensus.dir/proposer.cpp.o.d"
+  "/root/repo/src/consensus/types.cpp" "src/consensus/CMakeFiles/psmr_consensus.dir/types.cpp.o" "gcc" "src/consensus/CMakeFiles/psmr_consensus.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/psmr_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/psmr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smr/batch.cpp" "src/smr/CMakeFiles/psmr_smr.dir/batch.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/batch.cpp.o.d"
+  "/root/repo/src/smr/codec.cpp" "src/smr/CMakeFiles/psmr_smr.dir/codec.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/codec.cpp.o.d"
+  "/root/repo/src/smr/command.cpp" "src/smr/CMakeFiles/psmr_smr.dir/command.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/command.cpp.o.d"
+  "/root/repo/src/smr/session.cpp" "src/smr/CMakeFiles/psmr_smr.dir/session.cpp.o" "gcc" "src/smr/CMakeFiles/psmr_smr.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/consensus/proposer_test.cpp" "tests/CMakeFiles/consensus_proposer_test.dir/consensus/proposer_test.cpp.o" "gcc" "tests/CMakeFiles/consensus_proposer_test.dir/consensus/proposer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/consensus/CMakeFiles/psmr_consensus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/psmr_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/psmr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

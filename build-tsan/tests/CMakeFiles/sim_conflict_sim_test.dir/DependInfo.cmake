@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/conflict_sim_test.cpp" "tests/CMakeFiles/sim_conflict_sim_test.dir/sim/conflict_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_conflict_sim_test.dir/sim/conflict_sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/psmr_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/psmr_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/psmr_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/psmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/smr/CMakeFiles/psmr_smr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/psmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

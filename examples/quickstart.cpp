@@ -87,7 +87,7 @@ int main() {
   std::printf("replica B: %zu keys, digest %016llx\n", store_b.size(),
               static_cast<unsigned long long>(store_b.digest()));
   std::printf("avg dependency-graph size at replica A: %.2f\n",
-              replica_a.scheduler_stats().avg_graph_size_at_insert);
+              replica_a.stats().gauge("graph.size_at_insert.avg"));
   if (store_a.digest() != store_b.digest()) {
     std::printf("FAIL: replicas diverged!\n");
     return 1;

@@ -124,8 +124,8 @@ int main() {
     std::this_thread::sleep_for(50ms);
     replica_a.wait_idle();
     replica_b.wait_idle();
-    const auto a = replica_a.scheduler_stats().commands_executed;
-    const auto b = replica_b.scheduler_stats().commands_executed;
+    const auto a = replica_a.stats().counter("scheduler.commands_executed");
+    const auto b = replica_b.stats().counter("scheduler.commands_executed");
     if (a == b && a == stable) {
       ++stable_rounds;
     } else {

@@ -7,9 +7,14 @@
 namespace psmr::consensus {
 
 PaxosGroup::PaxosGroup(GroupConfig config)
-    : config_(config), network_(std::make_unique<PaxosNetwork>(config.seed)) {
+    : config_(config),
+      network_(std::make_unique<PaxosNetwork>(config.seed)),
+      metrics_(std::make_shared<obs::MetricsRegistry>()),
+      broadcast_counter_(&metrics_->counter("consensus.broadcasts")) {
   PSMR_CHECK(config_.acceptors >= 1);
   PSMR_CHECK(config_.proposers >= 1);
+  metrics_->gauge("consensus.acceptors").set(static_cast<double>(config_.acceptors));
+  metrics_->gauge("consensus.proposers").set(static_cast<double>(config_.proposers));
   network_->set_default_link(config_.default_link);
   client_endpoint_ = network_->register_process(kClientId);
 }
@@ -141,7 +146,7 @@ void PaxosGroup::truncate_log_below(InstanceId horizon) {
 
 void PaxosGroup::broadcast(Value payload) {
   const std::uint64_t request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  broadcast_counter_.fetch_add(1, std::memory_order_relaxed);
+  broadcast_counter_->add(1);
   {
     std::lock_guard lk(mu_);
     unacked_.emplace(request_id, payload);

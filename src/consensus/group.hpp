@@ -24,6 +24,7 @@
 #include "consensus/learner.hpp"
 #include "consensus/proposer.hpp"
 #include "consensus/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace psmr::consensus {
 
@@ -135,7 +136,13 @@ class PaxosGroup final : public AtomicBroadcast {
 
   // ---- observability ----
   int leader_index() const;  // -1 if none currently claims leadership
-  std::uint64_t broadcasts() const { return broadcast_counter_.load(); }
+  std::uint64_t broadcasts() const { return broadcast_counter_->value(); }
+
+  /// Unified metrics snapshot (`consensus.*` — DESIGN.md §10).
+  obs::Snapshot stats() const {
+    metrics_->gauge("consensus.leader_index").set(static_cast<double>(leader_index()));
+    return metrics_->snapshot();
+  }
 
  private:
   net::ProcessId proposer_id(unsigned i) const { return 100 + i; }
@@ -160,7 +167,8 @@ class PaxosGroup final : public AtomicBroadcast {
   // persistence — §II: "if a sender sends a message enough times, a correct
   // receiver will eventually receive the message").
   std::unordered_map<std::uint64_t, Value> unacked_;
-  std::atomic<std::uint64_t> broadcast_counter_{0};
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* broadcast_counter_;
   std::atomic<std::uint64_t> next_request_id_{1};
   bool started_ = false;
   std::atomic<bool> client_stop_{false};

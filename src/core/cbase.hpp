@@ -30,9 +30,9 @@ class CbaseScheduler {
 
   CbaseScheduler(Config config, Executor executor)
       : scheduler_(
-            Scheduler::Config{.workers = config.workers,
-                              .mode = ConflictMode::kKeysNested,
-                              .max_pending_batches = config.max_pending_commands},
+            SchedulerOptions{.workers = config.workers,
+                             .mode = ConflictMode::kKeysNested,
+                             .max_pending_batches = config.max_pending_commands},
             [executor = std::move(executor)](const smr::Batch& batch) {
               for (const smr::Command& cmd : batch.commands()) executor(cmd);
             }) {}
@@ -48,7 +48,8 @@ class CbaseScheduler {
     return scheduler_.deliver(std::move(batch));
   }
 
-  Scheduler::Stats stats() const { return scheduler_.stats(); }
+  /// Unified metrics snapshot — same names/schema as Scheduler::stats().
+  obs::Snapshot stats() const { return scheduler_.stats(); }
   std::size_t graph_size() const { return scheduler_.graph_size(); }
 
  private:

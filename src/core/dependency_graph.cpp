@@ -225,8 +225,10 @@ void DependencyGraph::insert(Prepared&& probe) {
     }
   }
 
+  if (tracer_ != nullptr) tracer_->record(node.seq, obs::Stage::kInserted);
   if (node.pending_bdeps == 0) {
     ready_.emplace(node.seq, &node);
+    if (tracer_ != nullptr) tracer_->record(node.seq, obs::Stage::kReady);
   }
   ++inserted_;
 }
@@ -239,6 +241,7 @@ DependencyGraph::Node* DependencyGraph::take_oldest_free() {
   PSMR_DCHECK(!node->taken && node->pending_bdeps == 0);
   node->taken = true;  // line 36: no other thread takes it
   ++num_taken_;
+  if (tracer_ != nullptr) tracer_->record(node->seq, obs::Stage::kTaken);
   return node;
 }
 
@@ -252,13 +255,16 @@ std::size_t DependencyGraph::remove(Node* node) {
     PSMR_DCHECK(succ->pending_bdeps > 0);
     if (--succ->pending_bdeps == 0 && !succ->taken) {
       ready_.emplace(succ->seq, succ);
+      if (tracer_ != nullptr) tracer_->record(succ->seq, obs::Stage::kReady);
       ++freed;
     }
   }
   num_edges_ -= node->deps.size();
   --num_taken_;
   if (index_active_) index_erase(*node);
+  const std::uint64_t seq = node->seq;
   release_node(node);  // line 42
+  if (tracer_ != nullptr) tracer_->record(seq, obs::Stage::kRemoved);
   ++removed_;
   return freed;
 }
@@ -275,7 +281,9 @@ void DependencyGraph::remove_newest() {
   ready_.erase(last.seq);
   if (last.taken) --num_taken_;
   if (index_active_) index_erase(last);
+  const std::uint64_t seq = last.seq;
   release_node(&last);
+  if (tracer_ != nullptr) tracer_->record(seq, obs::Stage::kRemoved);
   ++removed_;
 }
 

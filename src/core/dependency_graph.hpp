@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/conflict.hpp"
+#include "obs/trace.hpp"
 #include "smr/batch.hpp"
 #include "stats/meter.hpp"
 #include "util/bitmap.hpp"
@@ -160,6 +161,13 @@ class DependencyGraph {
   /// Graphviz rendering of the current graph (examples / debugging).
   std::string to_dot() const;
 
+  /// Attaches a lifecycle tracer; the graph stamps kInserted / kReady /
+  /// kTaken / kRemoved as batches move through it (kDelivered and kExecuted
+  /// belong to the scheduler). The tracer must outlive the graph; nullptr
+  /// detaches. Calls happen under the owner's serialization, like every
+  /// other mutation.
+  void set_tracer(obs::BatchTracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Test hook: walks the graph verifying acyclicity, that every edge
   /// points from an older to a newer batch, and that the inverted index
   /// (posting lists + aggregate bitmap) exactly mirrors the resident
@@ -198,6 +206,7 @@ class DependencyGraph {
   std::unordered_map<std::uint32_t, std::vector<Node*>> postings_;
   std::uint64_t probe_stamp_ = 0;
   IndexStats index_stats_;
+  obs::BatchTracer* tracer_ = nullptr;
 };
 
 }  // namespace psmr::core

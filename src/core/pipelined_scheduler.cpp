@@ -1,13 +1,39 @@
 #include "core/pipelined_scheduler.hpp"
 
 #include "util/assert.hpp"
+#include "util/time.hpp"
 
 namespace psmr::core {
+namespace {
 
-PipelinedScheduler::PipelinedScheduler(Config config, Executor executor)
-    : config_(config), executor_(std::move(executor)), graph_(config.mode, config.index) {
-  PSMR_CHECK(config_.workers >= 1);
+void publish_total(obs::Counter& c, std::uint64_t current, std::uint64_t& published) {
+  PSMR_DCHECK(current >= published);
+  c.add(current - published);
+  published = current;
+}
+
+}  // namespace
+
+PipelinedScheduler::PipelinedScheduler(SchedulerOptions options, Executor executor)
+    : config_(std::move(options)),
+      executor_(std::move(executor)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      batches_delivered_metric_(&metrics_->counter("scheduler.batches_delivered")),
+      batches_executed_metric_(&metrics_->counter("scheduler.batches_executed")),
+      commands_executed_metric_(&metrics_->counter("scheduler.commands_executed")),
+      queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
+      tracer_(config_.trace_capacity),
+      graph_(config_.mode, config_.index) {
+  config_.validate();
   PSMR_CHECK(executor_ != nullptr);
+  worker_batches_metric_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    worker_batches_metric_.push_back(
+        &metrics_->counter("worker." + std::to_string(i) + ".batches_executed"));
+  }
+  metrics_->gauge("scheduler.workers").set(static_cast<double>(config_.workers));
+  graph_.set_tracer(&tracer_);
 }
 
 PipelinedScheduler::~PipelinedScheduler() { stop(); }
@@ -18,7 +44,7 @@ void PipelinedScheduler::start() {
   scheduler_thread_ = std::thread([this] { scheduler_loop(); });
   workers_.reserve(config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -33,11 +59,15 @@ bool PipelinedScheduler::deliver(smr::BatchPtr batch) {
     });
   }
   if (stopping_.load(std::memory_order_relaxed)) return false;
+  // Stamp the lifecycle start before the probe computation so preparation
+  // and event-queue time are visible as delivered → inserted latency.
+  tracer_.begin(batch->sequence());
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   if (!events_.push(Event{Delivery{graph_.prepare(std::move(batch))}})) {
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
+  batches_delivered_metric_->add(1);
   return true;
 }
 
@@ -62,15 +92,37 @@ void PipelinedScheduler::stop() {
   workers_.clear();
 }
 
-PipelinedScheduler::Stats PipelinedScheduler::stats() const {
-  Stats s;
-  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
-  s.commands_executed = commands_executed_.load(std::memory_order_relaxed);
-  std::lock_guard lk(stats_mu_);
-  s.batches_delivered = graph_.batches_inserted();
-  s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
-  s.conflict = graph_.conflict_stats();
-  return s;
+obs::Snapshot PipelinedScheduler::stats() const {
+  {
+    std::lock_guard lk(stats_mu_);
+    const ConflictStats& cs = graph_.conflict_stats();
+    publish_total(metrics_->counter("scheduler.insert.pair_tests"), cs.tests,
+                  published_.pair_tests);
+    publish_total(metrics_->counter("scheduler.insert.comparisons"), cs.comparisons,
+                  published_.comparisons);
+    publish_total(metrics_->counter("scheduler.insert.conflicts_found"),
+                  cs.conflicts_found, published_.conflicts_found);
+    const DependencyGraph::IndexStats& is = graph_.index_stats();
+    publish_total(metrics_->counter("graph.index.probes"), is.probes,
+                  published_.index_probes);
+    publish_total(metrics_->counter("graph.index.fast_path_skips"), is.fast_path_skips,
+                  published_.index_fast_path_skips);
+    publish_total(metrics_->counter("graph.index.candidate_tests"), is.candidate_tests,
+                  published_.index_candidate_tests);
+    publish_total(metrics_->counter("trace.batches_started"), tracer_.started(),
+                  published_.trace_started);
+    publish_total(metrics_->counter("trace.batches_evicted"), tracer_.evicted(),
+                  published_.trace_evicted);
+
+    metrics_->gauge("graph.resident_batches").set(static_cast<double>(graph_.size()));
+    metrics_->gauge("graph.size_at_insert.avg").set(graph_.size_at_insert().mean());
+    metrics_->gauge("graph.size_at_insert.max").set(graph_.size_at_insert().max());
+    metrics_->gauge("graph.index.active").set(graph_.index_active() ? 1.0 : 0.0);
+    metrics_->gauge("graph.index.fell_back_to_scan")
+        .set(is.fell_back_to_scan ? 1.0 : 0.0);
+    metrics_->gauge("trace.capacity").set(static_cast<double>(tracer_.capacity()));
+  }
+  return metrics_->snapshot();
 }
 
 void PipelinedScheduler::scheduler_loop() {
@@ -102,12 +154,18 @@ void PipelinedScheduler::scheduler_loop() {
   }
 }
 
-void PipelinedScheduler::worker_loop() {
+void PipelinedScheduler::worker_loop(unsigned worker_index) {
   while (auto node = ready_.pop()) {
     const smr::BatchPtr batch = (*node)->batch;  // keep alive across remove
+    // Once per take (the node is dispatched to exactly one worker), insert
+    // → pop: the same queue-wait semantics as the monitor scheduler.
+    queue_wait_metric_->record(util::now_ns() - (*node)->inserted_at_ns);
+    const std::uint64_t seq = (*node)->seq;
     executor_(*batch);
-    batches_executed_.fetch_add(1, std::memory_order_relaxed);
-    commands_executed_.fetch_add(batch->size(), std::memory_order_relaxed);
+    tracer_.record_executed(seq, worker_index, /*failed=*/false);
+    batches_executed_metric_->add(1);
+    commands_executed_metric_->add(batch->size());
+    worker_batches_metric_[worker_index]->add(1);
     events_.push(Event{Completion{*node}});
   }
 }

@@ -20,18 +20,26 @@
 // the synchronization discipline changes (message passing instead of shared
 // locking). All correctness tests of the monitor scheduler run against this
 // class too.
+//
+// Construction and observability mirror the monitor Scheduler: one
+// SchedulerOptions struct, one obs::Snapshot export, the same metric names
+// (DESIGN.md §10) — the two variants are interchangeable to every consumer.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <variant>
 #include <vector>
 
 #include "core/dependency_graph.hpp"
+#include "core/scheduler_options.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smr/batch.hpp"
 #include "util/blocking_queue.hpp"
 
@@ -39,18 +47,14 @@ namespace psmr::core {
 
 class PipelinedScheduler {
  public:
-  struct Config {
-    unsigned workers = 1;
-    ConflictMode mode = ConflictMode::kKeysNested;
-    /// Insert-time candidate lookup strategy (orthogonal to `mode`).
-    IndexMode index = IndexMode::kAuto;
-    /// Backpressure on undelivered + pending batches (0 = unbounded).
-    std::size_t max_pending_batches = 0;
-  };
+  /// Deprecated alias kept for one release — use SchedulerOptions.
+  /// (circuit_failure_threshold is ignored here: the pipelined executor
+  /// contract forbids throwing.)
+  using Config = SchedulerOptions;
 
   using Executor = std::function<void(const smr::Batch&)>;
 
-  PipelinedScheduler(Config config, Executor executor);
+  PipelinedScheduler(SchedulerOptions options, Executor executor);
   ~PipelinedScheduler();
 
   PipelinedScheduler(const PipelinedScheduler&) = delete;
@@ -61,14 +65,18 @@ class PipelinedScheduler {
   void wait_idle();
   void stop();
 
-  struct Stats {
-    std::uint64_t batches_executed = 0;
-    std::uint64_t commands_executed = 0;
-    std::uint64_t batches_delivered = 0;
-    double avg_graph_size_at_insert = 0.0;
-    ConflictStats conflict;
-  };
-  Stats stats() const;
+  /// Unified metrics snapshot — same names and schema as Scheduler::stats()
+  /// (`scheduler.*`, `graph.*`, `worker.N.*`, `scheduler.queue_wait_ns`).
+  obs::Snapshot stats() const;
+
+  /// The registry this scheduler publishes into (shared with the creator
+  /// when SchedulerOptions::metrics was set).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Batch lifecycle records; meaningful after wait_idle().
+  const obs::BatchTracer& tracer() const noexcept { return tracer_; }
 
  private:
   // Events consumed by the scheduler thread. Completion carries the node
@@ -84,10 +92,20 @@ class PipelinedScheduler {
   using Event = std::variant<Delivery, Completion>;
 
   void scheduler_loop();
-  void worker_loop();
+  void worker_loop(unsigned worker_index);
 
-  Config config_;
+  SchedulerOptions config_;
   Executor executor_;
+
+  // Registry handles resolved once at construction; hot paths touch only
+  // the cached pointers.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* batches_delivered_metric_;
+  obs::Counter* batches_executed_metric_;
+  obs::Counter* commands_executed_metric_;
+  obs::HistogramMetric* queue_wait_metric_;
+  std::vector<obs::Counter*> worker_batches_metric_;
+  obs::BatchTracer tracer_;
 
   util::BlockingQueue<Event> events_;
   util::BlockingQueue<DependencyGraph::Node*> ready_;
@@ -96,14 +114,26 @@ class PipelinedScheduler {
   DependencyGraph graph_;
   std::uint64_t next_seq_check_ = 0;
 
-  std::atomic<std::uint64_t> batches_executed_{0};
-  std::atomic<std::uint64_t> commands_executed_{0};
   std::atomic<std::uint64_t> outstanding_{0};  // delivered - removed
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex stats_mu_;  // guards graph_ stats reads vs scheduler thread
   mutable std::mutex idle_mu_;
   std::condition_variable idle_cv_;
+
+  // Shadow of graph-internal accumulators already pushed into registry
+  // counters (see Scheduler::PublishedTotals). Guarded by stats_mu_.
+  struct PublishedTotals {
+    std::uint64_t pair_tests = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t conflicts_found = 0;
+    std::uint64_t index_probes = 0;
+    std::uint64_t index_fast_path_skips = 0;
+    std::uint64_t index_candidate_tests = 0;
+    std::uint64_t trace_started = 0;
+    std::uint64_t trace_evicted = 0;
+  };
+  mutable PublishedTotals published_;
 
   std::thread scheduler_thread_;
   std::vector<std::thread> workers_;

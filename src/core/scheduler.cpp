@@ -4,11 +4,40 @@
 #include "util/time.hpp"
 
 namespace psmr::core {
+namespace {
 
-Scheduler::Scheduler(Config config, Executor executor)
-    : config_(config), executor_(std::move(executor)), graph_(config.mode, config.index) {
-  PSMR_CHECK(config_.workers >= 1);
+/// Adds the delta between a serialized accumulator and its last published
+/// value into a registry counter, so the exported counter tracks the
+/// accumulator's total while staying monotonic.
+void publish_total(obs::Counter& c, std::uint64_t current, std::uint64_t& published) {
+  PSMR_DCHECK(current >= published);
+  c.add(current - published);
+  published = current;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options, Executor executor)
+    : config_(std::move(options)),
+      executor_(std::move(executor)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      batches_delivered_metric_(&metrics_->counter("scheduler.batches_delivered")),
+      batches_executed_metric_(&metrics_->counter("scheduler.batches_executed")),
+      commands_executed_metric_(&metrics_->counter("scheduler.commands_executed")),
+      batches_failed_metric_(&metrics_->counter("scheduler.batches_failed")),
+      queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
+      tracer_(config_.trace_capacity),
+      graph_(config_.mode, config_.index) {
+  config_.validate();
   PSMR_CHECK(executor_ != nullptr);
+  worker_batches_metric_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    worker_batches_metric_.push_back(
+        &metrics_->counter("worker." + std::to_string(i) + ".batches_executed"));
+  }
+  metrics_->gauge("scheduler.workers").set(static_cast<double>(config_.workers));
+  graph_.set_tracer(&tracer_);
 }
 
 Scheduler::~Scheduler() { stop(); }
@@ -19,13 +48,17 @@ void Scheduler::start() {
   started_ = true;
   workers_.reserve(config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 bool Scheduler::deliver(smr::BatchPtr batch) {
   PSMR_CHECK(batch != nullptr);
   PSMR_CHECK(batch->sequence() != 0);  // assigned by the total order
+  // The lifecycle record starts at the scheduler's doorstep, before any
+  // preparation or queueing — backpressure waits show up as delivered →
+  // inserted gaps.
+  tracer_.begin(batch->sequence());
   // Probe metadata (position hashing / digest positions) is computed BEFORE
   // taking the monitor — prepare() is const and reads only the immutable
   // configuration — so the serialized section pays only for the index
@@ -39,6 +72,7 @@ bool Scheduler::deliver(smr::BatchPtr batch) {
   }
   if (stopping_) return false;
   graph_.insert(std::move(probe));
+  batches_delivered_metric_->add(1);
   // The new batch may be immediately free; wake one worker (line 14–16:
   // the scheduler keeps delivering, workers pull).
   lk.unlock();
@@ -73,25 +107,41 @@ bool Scheduler::degraded() const {
   return degraded_;
 }
 
-Scheduler::Stats Scheduler::stats() const {
-  Stats s;
+obs::Snapshot Scheduler::stats() const {
   {
     std::lock_guard lk(mu_);
-    s.batches_executed = batches_executed_;
-    s.commands_executed = commands_executed_;
-    s.failed_batches = failed_batches_;
-    s.degraded = degraded_;
-    s.batches_delivered = graph_.batches_inserted();
-    s.avg_graph_size_at_insert = graph_.size_at_insert().mean();
-    s.max_graph_size_at_insert = graph_.size_at_insert().max();
-    s.conflict = graph_.conflict_stats();
-    s.index = graph_.index_stats();
-    s.index_active = graph_.index_active();
+    // Counters accumulated inside the serialized graph (pairwise conflict
+    // tests, index effectiveness) are published as deltas so the exported
+    // values stay monotonic across snapshots.
+    const ConflictStats& cs = graph_.conflict_stats();
+    publish_total(metrics_->counter("scheduler.insert.pair_tests"), cs.tests,
+                  published_.pair_tests);
+    publish_total(metrics_->counter("scheduler.insert.comparisons"), cs.comparisons,
+                  published_.comparisons);
+    publish_total(metrics_->counter("scheduler.insert.conflicts_found"),
+                  cs.conflicts_found, published_.conflicts_found);
+    const DependencyGraph::IndexStats& is = graph_.index_stats();
+    publish_total(metrics_->counter("graph.index.probes"), is.probes,
+                  published_.index_probes);
+    publish_total(metrics_->counter("graph.index.fast_path_skips"), is.fast_path_skips,
+                  published_.index_fast_path_skips);
+    publish_total(metrics_->counter("graph.index.candidate_tests"), is.candidate_tests,
+                  published_.index_candidate_tests);
+    publish_total(metrics_->counter("trace.batches_started"), tracer_.started(),
+                  published_.trace_started);
+    publish_total(metrics_->counter("trace.batches_evicted"), tracer_.evicted(),
+                  published_.trace_evicted);
+
+    metrics_->gauge("graph.resident_batches").set(static_cast<double>(graph_.size()));
+    metrics_->gauge("graph.size_at_insert.avg").set(graph_.size_at_insert().mean());
+    metrics_->gauge("graph.size_at_insert.max").set(graph_.size_at_insert().max());
+    metrics_->gauge("graph.index.active").set(graph_.index_active() ? 1.0 : 0.0);
+    metrics_->gauge("graph.index.fell_back_to_scan")
+        .set(is.fell_back_to_scan ? 1.0 : 0.0);
+    metrics_->gauge("scheduler.degraded").set(degraded_ ? 1.0 : 0.0);
+    metrics_->gauge("trace.capacity").set(static_cast<double>(tracer_.capacity()));
   }
-  std::lock_guard wl(wait_mu_);
-  s.queue_wait_p50_ns = queue_wait_.p50();
-  s.queue_wait_p99_ns = queue_wait_.p99();
-  return s;
+  return metrics_->snapshot();
 }
 
 std::size_t Scheduler::graph_size() const {
@@ -104,7 +154,7 @@ void Scheduler::check_invariants() const {
   graph_.check_invariants();
 }
 
-void Scheduler::worker_loop() {
+void Scheduler::worker_loop(unsigned worker_index) {
   std::unique_lock lk(mu_);
   for (;;) {
     DependencyGraph::Node* node =
@@ -123,13 +173,14 @@ void Scheduler::worker_loop() {
     }
     const smr::BatchPtr batch = node->batch;  // keep alive across remove()
     const std::uint64_t inserted_at_ns = node->inserted_at_ns;
+    const std::uint64_t seq = node->seq;
     lk.unlock();
-    // Queue-wait accounting stays off the scheduling critical section: the
-    // histogram has its own lock, contended only by peers recording.
-    {
-      std::lock_guard wl(wait_mu_);
-      queue_wait_.record(util::now_ns() - inserted_at_ns);
-    }
+    // Queue-wait semantics: recorded exactly ONCE per batch, at take time,
+    // measuring insert → take. Nodes are taken exactly once even when the
+    // executor later fails (failed batches are removed, never re-enqueued),
+    // so histogram count == batches executed + batches failed. The striped
+    // histogram keeps this off the scheduling critical section.
+    queue_wait_metric_->record(util::now_ns() - inserted_at_ns);
     // Line 45: execute commands in their order. A throwing executor must
     // not kill the worker or wedge the graph: the batch is accounted as
     // failed, removed below like any other (dependents unblock), and the
@@ -145,20 +196,25 @@ void Scheduler::worker_loop() {
       ok = false;
       what = "non-standard exception";
     }
+    tracer_.record_executed(seq, worker_index, !ok);
     if (!ok && on_failure_) on_failure_(*batch, what);
     lk.lock();
     const std::size_t freed = graph_.remove(node);
+    // Counter bumps happen under mu_ so a wait_idle()-then-stats() caller
+    // observes every increment (the idle notify below synchronizes).
     if (ok) {
-      batches_executed_ += 1;
-      commands_executed_ += batch->size();
+      batches_executed_metric_->add(1);
+      commands_executed_metric_->add(batch->size());
+      worker_batches_metric_[worker_index]->add(1);
       consecutive_failures_ = 0;
     } else {
       // A failed batch never counts as executed — no false "executed"
       // state leaks into the stats consumers (tests, quiesce loops).
-      failed_batches_ += 1;
+      batches_failed_metric_->add(1);
       if (config_.circuit_failure_threshold != 0 && !degraded_ &&
           ++consecutive_failures_ >= config_.circuit_failure_threshold) {
         degraded_ = true;  // circuit trips: sequential single-batch mode
+        metrics_->gauge("scheduler.degraded").set(1.0);
       }
     }
     // Deferred wake tokens: the decisions are made under the lock, but the

@@ -6,72 +6,40 @@
 // matching the paper's prototype. Configured with batch size 1 and key
 // conflicts this IS CBASE; with batches and ConflictMode::kBitmap it is the
 // paper's efficient scheduler.
+//
+// Observability (DESIGN.md §10): the scheduler publishes into an
+// obs::MetricsRegistry (its own, or one shared via
+// SchedulerOptions::metrics) and stamps batch lifecycles into an
+// obs::BatchTracer. stats() returns the unified obs::Snapshot — the same
+// type every other component exports — instead of a bespoke struct.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/dependency_graph.hpp"
+#include "core/scheduler_options.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "smr/batch.hpp"
-#include "stats/histogram.hpp"
 
 namespace psmr::core {
 
 class Scheduler {
  public:
-  struct Config {
-    /// Number of worker threads N.
-    unsigned workers = 1;
-    /// Conflict detection mechanism (the paper's `useBitmap` switch,
-    /// generalized).
-    ConflictMode mode = ConflictMode::kKeysNested;
-    /// How insert finds the resident batches to test against (orthogonal
-    /// to `mode`; never changes the resulting graph — see IndexMode).
-    IndexMode index = IndexMode::kAuto;
-    /// Backpressure: deliver() blocks while the graph holds this many
-    /// batches (0 = unbounded). Keeps an over-driven scheduler from
-    /// accumulating unbounded memory; the paper's closed-loop clients bound
-    /// this naturally.
-    std::size_t max_pending_batches = 0;
-    /// Worker fault isolation circuit breaker: after this many CONSECUTIVE
-    /// failed batches (executor threw), the scheduler degrades to
-    /// sequential single-batch execution — one batch in flight at a time,
-    /// delivery order — instead of crashing or wedging. 0 disables the
-    /// circuit (failures are still isolated and counted). A successful
-    /// batch resets the consecutive count but never un-trips the circuit.
-    unsigned circuit_failure_threshold = 0;
-  };
+  /// Deprecated alias kept for one release — use SchedulerOptions.
+  using Config = SchedulerOptions;
 
   /// Invoked (outside the scheduler lock, on the worker thread) when an
   /// executor throws: receives the failed batch and the exception message.
   /// The batch was removed from the graph — dependents run regardless.
   using FailureFn = std::function<void(const smr::Batch&, const std::string&)>;
-
-  struct Stats {
-    std::uint64_t batches_executed = 0;
-    std::uint64_t commands_executed = 0;
-    std::uint64_t batches_delivered = 0;
-    /// Batches whose executor threw. Disjoint from batches_executed — a
-    /// failed batch never leaks into the "executed" counts.
-    std::uint64_t failed_batches = 0;
-    /// True once the failure circuit tripped (sequential degraded mode).
-    bool degraded = false;
-    double avg_graph_size_at_insert = 0.0;
-    double max_graph_size_at_insert = 0.0;
-    ConflictStats conflict;
-    /// Inverted-index effectiveness counters (zero when IndexMode::kScan).
-    DependencyGraph::IndexStats index;
-    bool index_active = false;
-    /// Scheduling delay: time a batch spends in the graph between insert
-    /// and a worker taking it (dependency waits + worker availability).
-    std::uint64_t queue_wait_p50_ns = 0;
-    std::uint64_t queue_wait_p99_ns = 0;
-  };
 
   /// `executor` runs all commands of a batch, in batch order, on the worker
   /// thread that took it. It must be safe to invoke concurrently for
@@ -79,7 +47,7 @@ class Scheduler {
   /// locks).
   using Executor = std::function<void(const smr::Batch&)>;
 
-  Scheduler(Config config, Executor executor);
+  Scheduler(SchedulerOptions options, Executor executor);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -105,7 +73,20 @@ class Scheduler {
   /// True once the failure circuit tripped.
   bool degraded() const;
 
-  Stats stats() const;
+  /// Unified metrics snapshot (DESIGN.md §10 catalogue): `scheduler.*`
+  /// counters, `graph.*` gauges/counters, `worker.N.*` per-worker counters,
+  /// the `scheduler.queue_wait_ns` histogram, and `trace.*` tracer meta.
+  obs::Snapshot stats() const;
+
+  /// The registry this scheduler publishes into (shared with the creator
+  /// when SchedulerOptions::metrics was set).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Batch lifecycle records (delivered → … → removed). Meaningful after
+  /// wait_idle(); empty when tracing is disabled or compiled out.
+  const obs::BatchTracer& tracer() const noexcept { return tracer_; }
 
   /// Current number of batches in the graph (pending + taken).
   std::size_t graph_size() const;
@@ -115,7 +96,7 @@ class Scheduler {
   void check_invariants() const;
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned worker_index);
 
   /// A worker may take a batch unless the circuit tripped and another batch
   /// is already in flight (degraded mode = one batch at a time). Requires
@@ -124,9 +105,20 @@ class Scheduler {
     return !degraded_ || graph_.num_taken() == 0;
   }
 
-  Config config_;
+  SchedulerOptions config_;
   Executor executor_;
   FailureFn on_failure_;
+
+  // Observability: registry handles are resolved once, in the constructor;
+  // the hot path only touches the cached pointers (sharded relaxed adds).
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* batches_delivered_metric_;
+  obs::Counter* batches_executed_metric_;
+  obs::Counter* commands_executed_metric_;
+  obs::Counter* batches_failed_metric_;
+  obs::HistogramMetric* queue_wait_metric_;
+  std::vector<obs::Counter*> worker_batches_metric_;
+  obs::BatchTracer tracer_;
 
   mutable std::mutex mu_;
   std::condition_variable batch_ready_;  // workers wait here
@@ -135,17 +127,24 @@ class Scheduler {
   DependencyGraph graph_;
   bool stopping_ = false;
   bool started_ = false;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t batches_executed_ = 0;
-  std::uint64_t commands_executed_ = 0;
-  std::uint64_t failed_batches_ = 0;
   unsigned consecutive_failures_ = 0;
   bool degraded_ = false;
-  /// Queue-wait accounting lives outside the monitor: workers record under
-  /// wait_mu_ AFTER releasing mu_, so the histogram update never extends
-  /// the serialized scheduling section.
-  mutable std::mutex wait_mu_;
-  stats::Histogram queue_wait_;  // guarded by wait_mu_
+
+  // Graph-internal accumulators (conflict/index stats, batches inserted)
+  // live inside the serialized DependencyGraph; stats() publishes them into
+  // the registry as counters by adding the delta since the last publish.
+  // Guarded by mu_; mutable because stats() is const.
+  struct PublishedTotals {
+    std::uint64_t pair_tests = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t conflicts_found = 0;
+    std::uint64_t index_probes = 0;
+    std::uint64_t index_fast_path_skips = 0;
+    std::uint64_t index_candidate_tests = 0;
+    std::uint64_t trace_started = 0;
+    std::uint64_t trace_evicted = 0;
+  };
+  mutable PublishedTotals published_;
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,69 @@
+// One construction surface for every scheduler variant (API redesign,
+// PR 4). Previously `Scheduler::Config` and `PipelinedScheduler::Config`
+// were separate structs that drifted apart (the pipelined variant silently
+// lacked the circuit-breaker knobs); both classes now take this one options
+// struct, and the old `Config` names survive only as deprecated aliases for
+// one release.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/conflict.hpp"
+#include "util/assert.hpp"
+
+namespace psmr::obs {
+class MetricsRegistry;
+}  // namespace psmr::obs
+
+namespace psmr::core {
+
+struct SchedulerOptions {
+  /// Number of worker threads N.
+  unsigned workers = 1;
+
+  /// Conflict detection mechanism (the paper's `useBitmap` switch,
+  /// generalized).
+  ConflictMode mode = ConflictMode::kKeysNested;
+
+  /// How insert finds the resident batches to test against (orthogonal to
+  /// `mode`; never changes the resulting graph — see IndexMode).
+  IndexMode index = IndexMode::kAuto;
+
+  /// Backpressure: deliver() blocks while the graph holds this many batches
+  /// (0 = unbounded). Keeps an over-driven scheduler from accumulating
+  /// unbounded memory; the paper's closed-loop clients bound this naturally.
+  std::size_t max_pending_batches = 0;
+
+  /// Worker fault isolation circuit breaker: after this many CONSECUTIVE
+  /// failed batches (executor threw), the scheduler degrades to sequential
+  /// single-batch execution — one batch in flight at a time, delivery order
+  /// — instead of crashing or wedging. 0 disables the circuit (failures are
+  /// still isolated and counted). A successful batch resets the consecutive
+  /// count but never un-trips the circuit. Honoured by the monitor
+  /// Scheduler; the PipelinedScheduler ignores it (its executor contract
+  /// forbids throwing).
+  unsigned circuit_failure_threshold = 0;
+
+  /// Ring capacity of the batch-lifecycle tracer (obs::BatchTracer),
+  /// rounded up to a power of two. 0 disables tracing at runtime; building
+  /// with -DPSMR_TRACE=OFF disables it at compile time regardless.
+  std::size_t trace_capacity = 4096;
+
+  /// Metrics registry the scheduler publishes into (`scheduler.*`,
+  /// `graph.*`, `worker.N.*` — catalogue in DESIGN.md §10). null = the
+  /// scheduler creates a private registry; pass a shared one to combine
+  /// several components into a single snapshot (Replica does this).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Aborts on an invalid combination. Called by the scheduler
+  /// constructors; callers building options programmatically can invoke it
+  /// early for a better failure location.
+  void validate() const {
+    PSMR_CHECK(workers >= 1);
+    PSMR_CHECK(static_cast<unsigned>(mode) <= static_cast<unsigned>(ConflictMode::kBitmapSparse));
+    PSMR_CHECK(static_cast<unsigned>(index) <= static_cast<unsigned>(IndexMode::kAuto));
+  }
+};
+
+}  // namespace psmr::core

@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace psmr::obs {
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace detail
+
+HistogramSummary HistogramSummary::from(const stats::Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.min = h.min();
+  s.max = h.max();
+  s.mean = h.mean();
+  s.p50 = h.p50();
+  s.p99 = h.p99();
+  s.p999 = h.p999();
+  return s;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Snapshot::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSummary Snapshot::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSummary{} : it->second;
+}
+
+bool Snapshot::has_counter(std::string_view name) const {
+  return counters_.contains(name);
+}
+
+void Snapshot::merge(const Snapshot& other, std::string_view prefix) {
+  const auto prefixed = [&](const std::string& name) {
+    return std::string(prefix) + name;
+  };
+  for (const auto& [name, v] : other.counters_) counters_[prefixed(name)] = v;
+  for (const auto& [name, v] : other.gauges_) gauges_[prefixed(name)] = v;
+  for (const auto& [name, v] : other.histograms_) histograms_[prefixed(name)] = v;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+template <typename Map, typename Fn>
+void append_object(std::string& out, const char* key, const Map& map, Fn&& value) {
+  out += "  \"";
+  out += key;
+  out += "\": {";
+  bool first = true;
+  for (const auto& [name, v] : map) {
+    out += first ? "\n    \"" : ",\n    \"";
+    out += name;
+    out += "\": ";
+    value(out, v);
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n";
+  append_object(out, "counters", counters_,
+                [](std::string& o, std::uint64_t v) { append_number(o, v); });
+  out += ",\n";
+  append_object(out, "gauges", gauges_,
+                [](std::string& o, double v) { append_number(o, v); });
+  out += ",\n";
+  append_object(out, "histograms", histograms_,
+                [](std::string& o, const HistogramSummary& h) {
+                  o += "{\"count\": ";
+                  append_number(o, h.count);
+                  o += ", \"min\": ";
+                  append_number(o, h.min);
+                  o += ", \"max\": ";
+                  append_number(o, h.max);
+                  o += ", \"mean\": ";
+                  append_number(o, h.mean);
+                  o += ", \"p50\": ";
+                  append_number(o, h.p50);
+                  o += ", \"p99\": ";
+                  append_number(o, h.p99);
+                  o += ", \"p999\": ";
+                  append_number(o, h.p999);
+                  o += "}";
+                });
+  out += "\n}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<HistogramMetric>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  std::lock_guard lk(mu_);
+  for (const auto& [name, c] : counters_) s.set_counter(name, c->value());
+  for (const auto& [name, g] : gauges_) s.set_gauge(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    s.set_histogram(name, HistogramSummary::from(h->merged()));
+  }
+  return s;
+}
+
+}  // namespace psmr::obs

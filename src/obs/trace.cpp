@@ -1,0 +1,85 @@
+#include "obs/trace.hpp"
+
+namespace psmr::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BatchTracer::BatchTracer(std::size_t capacity) {
+  if constexpr (kCompiledIn) {
+    if (capacity > 0) {
+      const std::size_t n = round_up_pow2(capacity);
+      slots_ = std::vector<Slot>(n);
+      mask_ = n - 1;
+    }
+  } else {
+    (void)capacity;
+  }
+}
+
+void BatchTracer::begin_impl(std::uint64_t seq, std::uint64_t now) noexcept {
+  if (seq == 0) return;
+  Slot* s = slot_for(seq);
+  const std::uint64_t old = s->seq.load(std::memory_order_relaxed);
+  if (old != 0) evicted_.fetch_add(1, std::memory_order_relaxed);
+  // Retire the slot before reuse so a straggling writer for the evicted seq
+  // (or a concurrent completed() scan) never mixes two lifecycles: seq goes
+  // to 0 first, fields are cleared, then the new seq is published.
+  s->seq.store(0, std::memory_order_release);
+  for (auto& t : s->stage_ns) t.store(0, std::memory_order_relaxed);
+  s->worker.store(BatchTrace::kNoWorker, std::memory_order_relaxed);
+  s->failed.store(false, std::memory_order_relaxed);
+  s->stage_ns[static_cast<unsigned>(Stage::kDelivered)].store(
+      now, std::memory_order_relaxed);
+  s->seq.store(seq, std::memory_order_release);
+  started_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BatchTracer::record_impl(std::uint64_t seq, Stage stage,
+                              std::uint64_t now) noexcept {
+  if (seq == 0) return;
+  Slot* s = slot_for(seq);
+  if (s->seq.load(std::memory_order_acquire) != seq) return;  // recycled
+  s->stage_ns[static_cast<unsigned>(stage)].store(now, std::memory_order_relaxed);
+}
+
+void BatchTracer::executed_impl(std::uint64_t seq, std::uint32_t worker, bool failed,
+                                std::uint64_t now) noexcept {
+  if (seq == 0) return;
+  Slot* s = slot_for(seq);
+  if (s->seq.load(std::memory_order_acquire) != seq) return;
+  s->worker.store(worker, std::memory_order_relaxed);
+  if (failed) s->failed.store(true, std::memory_order_relaxed);
+  s->stage_ns[static_cast<unsigned>(Stage::kExecuted)].store(
+      now, std::memory_order_relaxed);
+}
+
+std::vector<BatchTrace> BatchTracer::completed() const {
+  std::vector<BatchTrace> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0) continue;
+    BatchTrace t;
+    t.seq = seq;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      t.stage_ns[i] = s.stage_ns[i].load(std::memory_order_relaxed);
+    }
+    t.worker = s.worker.load(std::memory_order_relaxed);
+    t.failed = s.failed.load(std::memory_order_relaxed);
+    // Re-check the slot owner: if the slot was recycled mid-copy the record
+    // may mix lifecycles — drop it.
+    if (s.seq.load(std::memory_order_acquire) != seq) continue;
+    if (t.complete()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace psmr::obs

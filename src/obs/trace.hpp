@@ -1,0 +1,141 @@
+// Batch lifecycle tracer (DESIGN.md §10).
+//
+// Records per-batch timestamps for the six lifecycle transitions a batch
+// makes through the scheduler —
+//
+//   delivered → inserted → ready → taken → executed → removed
+//
+// — into a preallocated ring buffer keyed by delivery sequence. The hot
+// path cost per stage is one monotonic-clock read plus one relaxed atomic
+// store into a pre-claimed slot: no allocation, no locking, no branching
+// beyond the enabled check. Stage writers are the threads that perform the
+// transition (delivery thread, graph owner, workers); they write disjoint
+// fields of the slot, so relaxed atomics suffice — a mid-run reader may see
+// a record in progress, which completed() filters out.
+//
+// Compile-out: building with -DPSMR_TRACE=OFF defines PSMR_TRACE_ENABLED=0
+// and the tracer never allocates its ring — every record call reduces to a
+// single always-false branch. `BatchTracer::kCompiledIn` lets tests and
+// tools detect the build flavour.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+#ifndef PSMR_TRACE_ENABLED
+#define PSMR_TRACE_ENABLED 1
+#endif
+
+namespace psmr::obs {
+
+/// Lifecycle transitions, in the order they must occur.
+enum class Stage : unsigned {
+  kDelivered = 0,  // handed to the scheduler (deliver() entry)
+  kInserted = 1,   // joined the dependency graph
+  kReady = 2,      // in-degree reached zero (free to execute)
+  kTaken = 3,      // claimed by a worker
+  kExecuted = 4,   // executor returned (or threw — see `failed`)
+  kRemoved = 5,    // left the dependency graph; dependents unblocked
+};
+
+inline constexpr std::size_t kNumStages = 6;
+
+constexpr const char* to_string(Stage s) noexcept {
+  constexpr const char* names[kNumStages] = {"delivered", "inserted", "ready",
+                                             "taken",     "executed", "removed"};
+  return names[static_cast<unsigned>(s)];
+}
+
+/// One completed (or in-flight) lifecycle record. A stage timestamp of 0
+/// means "not reached".
+struct BatchTrace {
+  static constexpr std::uint32_t kNoWorker = ~std::uint32_t{0};
+
+  std::uint64_t seq = 0;
+  std::array<std::uint64_t, kNumStages> stage_ns{};
+  std::uint32_t worker = kNoWorker;
+  bool failed = false;
+
+  std::uint64_t at(Stage s) const noexcept {
+    return stage_ns[static_cast<unsigned>(s)];
+  }
+  bool complete() const noexcept { return at(Stage::kRemoved) != 0; }
+};
+
+class BatchTracer {
+ public:
+  static constexpr bool kCompiledIn = PSMR_TRACE_ENABLED != 0;
+
+  /// `capacity` is rounded up to a power of two; 0 disables the tracer at
+  /// runtime (no ring is allocated) even when compiled in.
+  explicit BatchTracer(std::size_t capacity);
+
+  BatchTracer(const BatchTracer&) = delete;
+  BatchTracer& operator=(const BatchTracer&) = delete;
+
+  bool enabled() const noexcept { return !slots_.empty(); }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Claims the ring slot for `seq` and stamps Stage::kDelivered. Must be
+  /// the first stage recorded for a batch; called from the (single) delivery
+  /// thread. Evicts whatever record previously occupied the slot.
+  void begin(std::uint64_t seq) noexcept {
+    if (!enabled()) return;
+    begin_impl(seq, util::now_ns());
+  }
+
+  /// Stamps one stage of a previously begun batch. Safe from any thread;
+  /// a seq whose slot was recycled is dropped silently.
+  void record(std::uint64_t seq, Stage stage) noexcept {
+    if (!enabled()) return;
+    record_impl(seq, stage, util::now_ns());
+  }
+
+  /// Stamps Stage::kExecuted together with the executing worker and the
+  /// failure flag (one call, one clock read).
+  void record_executed(std::uint64_t seq, std::uint32_t worker, bool failed) noexcept {
+    if (!enabled()) return;
+    executed_impl(seq, worker, failed, util::now_ns());
+  }
+
+  /// All records whose lifecycle completed (reached kRemoved). Intended for
+  /// post-quiesce inspection; a concurrent caller sees only fully-stamped
+  /// records but may miss batches still in flight.
+  std::vector<BatchTrace> completed() const;
+
+  /// Batches that entered the ring / were overwritten before being read.
+  std::uint64_t started() const noexcept {
+    return started_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evicted() const noexcept {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kNumStages> stage_ns{};
+    std::atomic<std::uint32_t> worker{BatchTrace::kNoWorker};
+    std::atomic<bool> failed{false};
+  };
+
+  void begin_impl(std::uint64_t seq, std::uint64_t now) noexcept;
+  void record_impl(std::uint64_t seq, Stage stage, std::uint64_t now) noexcept;
+  void executed_impl(std::uint64_t seq, std::uint32_t worker, bool failed,
+                     std::uint64_t now) noexcept;
+
+  Slot* slot_for(std::uint64_t seq) noexcept {
+    return &slots_[(seq - 1) & mask_];
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+}  // namespace psmr::obs

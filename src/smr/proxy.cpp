@@ -11,7 +11,20 @@ Proxy::Proxy(Config config, CommandSource source, BroadcastFn broadcast)
       source_(std::move(source)),
       broadcast_(std::move(broadcast)),
       client_seq_(config.num_clients, 0),
-      jitter_rng_(config.proxy_id * 0x9e3779b97f4a7c15ULL + 1) {
+      jitter_rng_(config.proxy_id * 0x9e3779b97f4a7c15ULL + 1),
+      metrics_(std::make_shared<obs::MetricsRegistry>()),
+      commands_completed_(&metrics_->counter("proxy." + std::to_string(config.proxy_id) +
+                                             ".commands_completed")),
+      batches_completed_(&metrics_->counter("proxy." + std::to_string(config.proxy_id) +
+                                            ".batches_completed")),
+      retransmits_(&metrics_->counter("proxy." + std::to_string(config.proxy_id) +
+                                      ".retransmits")),
+      batches_abandoned_(&metrics_->counter("proxy." + std::to_string(config.proxy_id) +
+                                            ".batches_abandoned")),
+      latency_(&metrics_->histogram("proxy." + std::to_string(config.proxy_id) +
+                                    ".latency_ns")) {
+  metrics_->gauge("proxy." + std::to_string(config_.proxy_id) + ".batch_size")
+      .set(static_cast<double>(config_.batch_size));
   PSMR_CHECK(config_.batch_size >= 1);
   PSMR_CHECK(config_.num_clients >= 1);
   PSMR_CHECK(config_.retry.initial.count() > 0);
@@ -102,7 +115,7 @@ void Proxy::run_loop() {
         break;
       }
       ++attempt;
-      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      retransmits_->add(1);
       lk.unlock();
       auto resend = std::make_unique<Batch>(proto);
       resend->set_attempt(attempt);
@@ -115,12 +128,12 @@ void Proxy::run_loop() {
     }
     if (completed) {
       lk.unlock();
-      latency_.record(util::now_ns() - t0);
-      commands_completed_.fetch_add(n, std::memory_order_relaxed);
-      batches_completed_.fetch_add(1, std::memory_order_relaxed);
+      latency_->record(util::now_ns() - t0);
+      commands_completed_->add(n);
+      batches_completed_->add(1);
       lk.lock();
     } else if (abandoned) {
-      batches_abandoned_.fetch_add(1, std::memory_order_relaxed);
+      batches_abandoned_->add(1);
     }
     // stop_ is re-checked by the while condition (still under mu_).
   }

@@ -17,7 +17,6 @@
 // and therefore the dedup identity (client_id, sequence), are identical).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -28,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "smr/batch.hpp"
 #include "smr/command.hpp"
 #include "stats/histogram.hpp"
@@ -99,22 +99,26 @@ class Proxy {
   void on_response(const Response& r);
 
   std::uint64_t commands_completed() const noexcept {
-    return commands_completed_.load(std::memory_order_relaxed);
+    return commands_completed_->value();
   }
   std::uint64_t batches_completed() const noexcept {
-    return batches_completed_.load(std::memory_order_relaxed);
+    return batches_completed_->value();
   }
   /// Batches re-broadcast after a response deadline expired.
-  std::uint64_t retransmits() const noexcept {
-    return retransmits_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t retransmits() const noexcept { return retransmits_->value(); }
   /// Batches given up on after RetryConfig::max_attempts sends.
   std::uint64_t batches_abandoned() const noexcept {
-    return batches_abandoned_.load(std::memory_order_relaxed);
+    return batches_abandoned_->value();
   }
 
-  /// Batch round-trip latency (ns), recorded per completed batch.
-  const stats::Histogram& latency() const noexcept { return latency_; }
+  /// Batch round-trip latency (ns), recorded per completed batch. Returns a
+  /// merged copy of the registry histogram (`proxy.N.latency_ns`).
+  stats::Histogram latency() const { return latency_->merged(); }
+
+  /// Unified metrics snapshot. Names carry the proxy id (`proxy.N.metric`,
+  /// like `worker.N.*` — DESIGN.md §10), so snapshots of several proxies
+  /// merge into one view without collisions.
+  obs::Snapshot stats() const { return metrics_->snapshot(); }
 
   std::uint64_t id() const noexcept { return config_.proxy_id; }
 
@@ -142,11 +146,13 @@ class Proxy {
   std::unordered_set<std::uint64_t> outstanding_;
   bool stop_ = false;  // guarded by mu_ (lost-wakeup-free stop)
 
-  std::atomic<std::uint64_t> commands_completed_{0};
-  std::atomic<std::uint64_t> batches_completed_{0};
-  std::atomic<std::uint64_t> retransmits_{0};
-  std::atomic<std::uint64_t> batches_abandoned_{0};
-  stats::Histogram latency_;
+  // Registry-backed metrics (handles cached at construction).
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* commands_completed_;
+  obs::Counter* batches_completed_;
+  obs::Counter* retransmits_;
+  obs::Counter* batches_abandoned_;
+  obs::HistogramMetric* latency_;
   std::thread thread_;
 };
 

@@ -6,10 +6,25 @@
 namespace psmr::smr {
 
 Replica::Replica(Config config, Service& service, ResponseSink sink)
-    : config_(config),
+    : config_(std::move(config)),
       service_(service),
       sink_(std::move(sink)),
-      scheduler_(config.scheduler, [this](const Batch& b) { execute_batch(b); }) {}
+      metrics_(config_.scheduler.metrics != nullptr
+                   ? config_.scheduler.metrics
+                   : std::make_shared<obs::MetricsRegistry>()),
+      batches_deduped_(&metrics_->counter("replica.batches_deduped")),
+      responses_from_cache_(&metrics_->counter("replica.responses_from_cache")),
+      scheduler_(
+          [&] {
+            // The scheduler publishes into the replica's registry, so one
+            // snapshot carries replica.* and scheduler.* together.
+            core::SchedulerOptions opts = config_.scheduler;
+            opts.metrics = metrics_;
+            return opts;
+          }(),
+          [this](const Batch& b) { execute_batch(b); }) {
+  metrics_->gauge("replica.id").set(static_cast<double>(config_.replica_id));
+}
 
 bool Replica::deliver(BatchPtr batch) {
   if (config_.exactly_once && batch != nullptr && !batch->empty()) {
@@ -32,9 +47,10 @@ bool Replica::deliver(BatchPtr batch) {
         if (sessions_.peek(c.client_id, c.sequence, &cached) ==
             SessionTable::Gate::kDuplicate) {
           if (sink_) sink_(cached);
+          responses_from_cache_->add(1);
         }
       }
-      batches_deduped_.fetch_add(1, std::memory_order_relaxed);
+      batches_deduped_->add(1);
       return true;
     }
   }
@@ -57,6 +73,7 @@ void Replica::execute_batch(const Batch& batch) {
           break;
         case SessionTable::Gate::kDuplicate:
           if (sink_) sink_(cached);  // re-send, don't re-execute
+          responses_from_cache_->add(1);
           continue;
         case SessionTable::Gate::kInFlight:
         case SessionTable::Gate::kStale:

@@ -18,12 +18,12 @@
 //     worker alive, unblocks dependents, and accounts the batch as failed.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 
 #include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
 #include "smr/batch.hpp"
 #include "smr/command.hpp"
 #include "smr/session.hpp"
@@ -37,7 +37,10 @@ class Replica {
   using ResponseSink = std::function<void(const Response&)>;
 
   struct Config {
-    core::Scheduler::Config scheduler;
+    /// Scheduler construction options. If `scheduler.metrics` is null the
+    /// replica creates a registry shared between itself and the scheduler,
+    /// so one snapshot carries both `replica.*` and `scheduler.*` metrics.
+    core::SchedulerOptions scheduler;
     /// Replica identifier (diagnostics; responses are routed by proxy id).
     std::uint32_t replica_id = 0;
     /// Exactly-once dedup via the session table. Commands with
@@ -57,7 +60,12 @@ class Replica {
   /// without entering the dependency graph.
   bool deliver(BatchPtr batch);
 
-  core::Scheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
+  /// Unified snapshot covering the scheduler (`scheduler.*`, `graph.*`,
+  /// `worker.N.*`) AND the replica's own metrics (`replica.*`) — they share
+  /// one registry.
+  obs::Snapshot stats() const { return scheduler_.stats(); }
+  /// Deprecated name for stats(), kept while call sites migrate.
+  obs::Snapshot scheduler_stats() const { return stats(); }
   std::uint32_t id() const noexcept { return config_.replica_id; }
 
   /// The exactly-once session table. Part of the replicated state: capture
@@ -67,8 +75,9 @@ class Replica {
   const SessionTable& sessions() const noexcept { return sessions_; }
 
   /// Duplicate batches short-circuited at delivery (never scheduled).
+  /// Also exported as the `replica.batches_deduped` counter.
   std::uint64_t batches_deduped_at_delivery() const noexcept {
-    return batches_deduped_.load(std::memory_order_relaxed);
+    return batches_deduped_->value();
   }
 
  private:
@@ -78,7 +87,9 @@ class Replica {
   Service& service_;
   ResponseSink sink_;
   SessionTable sessions_;
-  std::atomic<std::uint64_t> batches_deduped_{0};
+  std::shared_ptr<obs::MetricsRegistry> metrics_;  // shared with scheduler_
+  obs::Counter* batches_deduped_;
+  obs::Counter* responses_from_cache_;
   core::Scheduler scheduler_;
 };
 

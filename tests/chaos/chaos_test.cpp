@@ -172,8 +172,8 @@ TEST_P(ChaosTest, ScriptedFaultTimelineKeepsReplicasIdenticalAndExactlyOnce) {
   // completing batches — checked below).
   EXPECT_EQ(throwing_a.throws(), 1u);
   EXPECT_EQ(throwing_b.throws(), 1u);
-  EXPECT_GT(replica_a.scheduler_stats().failed_batches, 0u);
-  EXPECT_GT(replica_b.scheduler_stats().failed_batches, 0u);
+  EXPECT_GT(replica_a.stats().counter("scheduler.batches_failed"), 0u);
+  EXPECT_GT(replica_b.stats().counter("scheduler.batches_failed"), 0u);
 
   // The injected duplicate was recognized on both replicas (delivery fast
   // path or execution-time session gate).

@@ -25,8 +25,9 @@ inline void drain_replicas(const std::vector<smr::Replica*>& replicas,
     for (smr::Replica* r : replicas) {
       // Count failed batches too: a deterministic injected fault advances
       // both replicas identically without touching commands_executed.
-      const auto st = r->scheduler_stats();
-      const auto n = st.commands_executed + st.failed_batches;
+      const auto st = r->stats();
+      const auto n = st.counter("scheduler.commands_executed") +
+                     st.counter("scheduler.batches_failed");
       lo = std::min(lo, n);
       hi = std::max(hi, n);
     }

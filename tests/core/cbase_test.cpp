@@ -32,8 +32,10 @@ TEST(CbaseScheduler, ExecutesEveryCommand) {
   cbase.wait_idle();
   cbase.stop();
   EXPECT_EQ(executed.load(), 500u);
-  EXPECT_EQ(cbase.stats().commands_executed, 500u);
-  EXPECT_EQ(cbase.stats().batches_executed, 500u);  // one vertex per command
+  const auto st = cbase.stats();
+  EXPECT_EQ(st.counter("scheduler.commands_executed"), 500u);
+  // One vertex per command.
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 500u);
 }
 
 TEST(CbaseScheduler, SameKeyCommandsRunInDeliveryOrder) {

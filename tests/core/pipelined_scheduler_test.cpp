@@ -56,7 +56,7 @@ TYPED_TEST_SUITE(AnySchedulerTest, SchedulerTypes);
 
 TYPED_TEST(AnySchedulerTest, ExecutesEverything) {
   std::atomic<std::uint64_t> commands{0};
-  typename TypeParam::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 4;
   TypeParam s(cfg, [&](const smr::Batch& b) { commands.fetch_add(b.size()); });
   s.start();
@@ -66,14 +66,15 @@ TYPED_TEST(AnySchedulerTest, ExecutesEverything) {
   s.wait_idle();
   s.stop();
   EXPECT_EQ(commands.load(), 600u);
-  EXPECT_EQ(s.stats().commands_executed, 600u);
-  EXPECT_EQ(s.stats().batches_executed, 200u);
+  const auto st = s.stats();
+  EXPECT_EQ(st.counter("scheduler.commands_executed"), 600u);
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 200u);
 }
 
 TYPED_TEST(AnySchedulerTest, SameKeyBatchesSerializeInDeliveryOrder) {
   std::mutex mu;
   std::vector<std::uint64_t> order;
-  typename TypeParam::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   TypeParam s(cfg, [&](const smr::Batch& b) {
     std::lock_guard lk(mu);
@@ -89,7 +90,7 @@ TYPED_TEST(AnySchedulerTest, SameKeyBatchesSerializeInDeliveryOrder) {
 
 TYPED_TEST(AnySchedulerTest, IndependentBatchesParallelize) {
   std::atomic<int> concurrent{0}, max_concurrent{0};
-  typename TypeParam::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   TypeParam s(cfg, [&](const smr::Batch&) {
     const int now = concurrent.fetch_add(1) + 1;
@@ -108,7 +109,7 @@ TYPED_TEST(AnySchedulerTest, IndependentBatchesParallelize) {
 
 TYPED_TEST(AnySchedulerTest, StopDrains) {
   std::atomic<std::uint64_t> executed{0};
-  typename TypeParam::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 2;
   TypeParam s(cfg, [&](const smr::Batch&) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -139,7 +140,7 @@ TYPED_TEST(AnySchedulerTest, PerKeyOrderMatchesOracleUnderMixedConflicts) {
 
   for (ConflictMode mode : {ConflictMode::kKeysNested, ConflictMode::kBitmap}) {
     KeyOrderRecorder rec;
-    typename TypeParam::Config cfg;
+    SchedulerOptions cfg;
     cfg.workers = 8;
     cfg.mode = mode;
     TypeParam s(cfg, [&](const smr::Batch& b) { rec.apply(b); });
@@ -152,7 +153,7 @@ TYPED_TEST(AnySchedulerTest, PerKeyOrderMatchesOracleUnderMixedConflicts) {
 }
 
 TYPED_TEST(AnySchedulerTest, BackpressureBlocksProducer) {
-  typename TypeParam::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 1;
   cfg.max_pending_batches = 4;
   std::atomic<bool> release{false};
@@ -187,7 +188,7 @@ TEST(PipelinedVsMonitor, IdenticalPerKeyOrders) {
   }
   KeyOrderRecorder monitor_rec;
   {
-    Scheduler::Config cfg;
+    SchedulerOptions cfg;
     cfg.workers = 8;
     Scheduler s(cfg, [&](const smr::Batch& b) { monitor_rec.apply(b); });
     s.start();
@@ -197,7 +198,7 @@ TEST(PipelinedVsMonitor, IdenticalPerKeyOrders) {
   }
   KeyOrderRecorder pipelined_rec;
   {
-    PipelinedScheduler::Config cfg;
+    SchedulerOptions cfg;
     cfg.workers = 8;
     PipelinedScheduler s(cfg, [&](const smr::Batch& b) { pipelined_rec.apply(b); });
     s.start();

@@ -36,7 +36,7 @@ smr::BatchPtr make_batch(std::uint64_t seq, std::vector<smr::Key> keys,
 
 TEST(Scheduler, ExecutesEverythingDelivered) {
   std::atomic<std::uint64_t> executed{0};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 4;
   Scheduler s(cfg, [&](const smr::Batch& b) { executed.fetch_add(b.size()); });
   s.start();
@@ -46,14 +46,14 @@ TEST(Scheduler, ExecutesEverythingDelivered) {
   s.wait_idle();
   EXPECT_EQ(executed.load(), 200u);
   const auto st = s.stats();
-  EXPECT_EQ(st.batches_executed, 100u);
-  EXPECT_EQ(st.commands_executed, 200u);
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 100u);
+  EXPECT_EQ(st.counter("scheduler.commands_executed"), 200u);
   s.stop();
 }
 
 TEST(Scheduler, StopDrainsOutstandingWork) {
   std::atomic<std::uint64_t> executed{0};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 2;
   Scheduler s(cfg, [&](const smr::Batch&) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -66,7 +66,7 @@ TEST(Scheduler, StopDrainsOutstandingWork) {
 }
 
 TEST(Scheduler, DeliverAfterStopIsRejected) {
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   Scheduler s(cfg, [](const smr::Batch&) {});
   s.start();
   s.stop();
@@ -78,7 +78,7 @@ TEST(Scheduler, ConflictingBatchesExecuteInDeliveryOrder) {
   // delivery order even with many workers.
   std::mutex mu;
   std::vector<std::uint64_t> order;
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   Scheduler s(cfg, [&](const smr::Batch& b) {
     std::lock_guard lk(mu);
@@ -95,7 +95,7 @@ TEST(Scheduler, ConflictingBatchesExecuteInDeliveryOrder) {
 TEST(Scheduler, IndependentBatchesRunConcurrently) {
   std::atomic<int> concurrent{0};
   std::atomic<int> max_concurrent{0};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   Scheduler s(cfg, [&](const smr::Batch&) {
     const int now = concurrent.fetch_add(1) + 1;
@@ -113,7 +113,7 @@ TEST(Scheduler, IndependentBatchesRunConcurrently) {
 }
 
 TEST(Scheduler, BackpressureBoundsGraph) {
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 1;
   cfg.max_pending_batches = 4;
   std::atomic<bool> release{false};
@@ -191,7 +191,7 @@ TEST_P(SchedulerSafetyTest, PerKeyWriteOrderMatchesSequentialExecution) {
 
   // Parallel execution.
   VersionRecorder parallel;
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = p.workers;
   cfg.mode = p.mode;
   Scheduler s(cfg, [&](const smr::Batch& b) { parallel.apply(b); });
@@ -241,7 +241,7 @@ TEST(Scheduler, TwoRunsProduceIdenticalPerKeyOrders) {
   }
   auto run = [&](unsigned workers) {
     VersionRecorder rec;
-    Scheduler::Config cfg;
+    SchedulerOptions cfg;
     cfg.workers = workers;
     Scheduler s(cfg, [&](const smr::Batch& b) { rec.apply(b); });
     s.start();
@@ -272,7 +272,7 @@ TEST(Scheduler, FinalKvStateMatchesSequentialBaseline) {
 
   kv::KvStore parallel_store;
   kv::KvService service(parallel_store);
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   Scheduler s(cfg, [&](const smr::Batch& b) {
     for (const smr::Command& c : b.commands()) service.execute(c);
@@ -290,7 +290,7 @@ TEST(Scheduler, QueueWaitStatsReflectBlocking) {
   // Conflicting batches wait behind one another: queue-wait p99 must be
   // much larger than for an equally-sized independent workload.
   auto run = [](bool conflicting) {
-    Scheduler::Config cfg;
+    SchedulerOptions cfg;
     cfg.workers = 4;
     Scheduler s(cfg, [](const smr::Batch&) {
       std::this_thread::sleep_for(std::chrono::microseconds(500));
@@ -310,16 +310,18 @@ TEST(Scheduler, QueueWaitStatsReflectBlocking) {
   // Parallel: ~1/workers of that. (The p99 tails converge on a time-shared
   // single CPU — the LAST independent batch also waits for a worker — so
   // the median carries the signal.)
-  EXPECT_GT(serial.queue_wait_p50_ns, parallel.queue_wait_p50_ns * 3 / 2);
-  EXPECT_GE(serial.queue_wait_p99_ns, serial.queue_wait_p50_ns);
-  EXPECT_GT(parallel.queue_wait_p50_ns, 0u);
+  const auto serial_wait = serial.histogram("scheduler.queue_wait_ns");
+  const auto parallel_wait = parallel.histogram("scheduler.queue_wait_ns");
+  EXPECT_GT(serial_wait.p50, parallel_wait.p50 * 3 / 2);
+  EXPECT_GE(serial_wait.p99, serial_wait.p50);
+  EXPECT_GT(parallel_wait.p50, 0u);
 }
 
 TEST(Scheduler, ReadOnlyBatchesOnSameKeyRunConcurrentlyInKeyMode) {
   // Exact detection knows reads do not conflict: read-only batches on one
   // key parallelize. (The unified bitmap cannot tell — next test.)
   std::atomic<int> concurrent{0}, max_concurrent{0};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   cfg.mode = ConflictMode::kKeysNested;
   Scheduler s(cfg, [&](const smr::Batch&) {
@@ -352,7 +354,7 @@ TEST(Scheduler, ReadOnlyBatchesSerializeUnderUnifiedBitmap) {
   std::atomic<int> concurrent{0}, max_concurrent{0};
   smr::BitmapConfig bcfg;
   bcfg.bits = 102400;
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 8;
   cfg.mode = ConflictMode::kBitmap;
   Scheduler s(cfg, [&](const smr::Batch&) {
@@ -392,7 +394,7 @@ TEST(Scheduler, DenseAndSparseBitmapModesProduceIdenticalStates) {
   }
   auto run = [&](ConflictMode mode) {
     VersionRecorder rec;
-    Scheduler::Config cfg;
+    SchedulerOptions cfg;
     cfg.workers = 8;
     cfg.mode = mode;
     Scheduler s(cfg, [&](const smr::Batch& b) { rec.apply(b); });
@@ -409,7 +411,7 @@ TEST(Scheduler, BackpressuredDeliverReturnsFalseOnStop) {
   // A delivery thread parked on the backpressure gate must not hang across
   // stop(): it wakes, observes stopping_, and reports the rejected batch.
   std::atomic<bool> release{false};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 1;
   cfg.max_pending_batches = 2;
   Scheduler s(cfg, [&](const smr::Batch&) {
@@ -440,7 +442,7 @@ TEST(Scheduler, ThrowingExecutorIsIsolatedAndDependentsRun) {
   // survives, dependents of the failed batch are not orphaned, wait_idle()
   // returns, and the failure is visible in stats and the on_failure hook.
   std::atomic<std::uint64_t> executed{0};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 2;
   Scheduler s(cfg, [&](const smr::Batch& b) {
     if (b.sequence() == 1) throw std::runtime_error("poisoned batch");
@@ -459,10 +461,11 @@ TEST(Scheduler, ThrowingExecutorIsIsolatedAndDependentsRun) {
   s.deliver(make_batch(3, {9, 10}));  // independent
   s.wait_idle();  // must return: the failed batch was removed like any other
   const auto st = s.stats();
-  EXPECT_EQ(st.failed_batches, 1u);
-  EXPECT_EQ(st.batches_executed, 2u);       // failure never counts as executed
-  EXPECT_EQ(st.commands_executed, 3u);
-  EXPECT_FALSE(st.degraded);                // circuit disabled by default
+  EXPECT_EQ(st.counter("scheduler.batches_failed"), 1u);
+  // Failure never counts as executed.
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 2u);
+  EXPECT_EQ(st.counter("scheduler.commands_executed"), 3u);
+  EXPECT_EQ(st.gauge("scheduler.degraded"), 0.0);  // circuit disabled by default
   EXPECT_EQ(failures_seen.load(), 1);
   EXPECT_EQ(failure_msg, "poisoned batch");
   // The worker pool is still alive: more work executes normally.
@@ -479,7 +482,7 @@ TEST(Scheduler, CircuitBreakerDegradesToSequentialMode) {
   // independent batches must never observe parallelism after the trip.
   std::atomic<int> concurrent{0};
   std::atomic<int> max_concurrent{0};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 4;
   cfg.circuit_failure_threshold = 2;
   Scheduler s(cfg, [&](const smr::Batch& b) {
@@ -503,9 +506,9 @@ TEST(Scheduler, CircuitBreakerDegradesToSequentialMode) {
   s.wait_idle();
   s.stop();
   const auto st = s.stats();
-  EXPECT_EQ(st.failed_batches, 2u);
-  EXPECT_EQ(st.batches_executed, 20u);
-  EXPECT_TRUE(st.degraded);
+  EXPECT_EQ(st.counter("scheduler.batches_failed"), 2u);
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 20u);
+  EXPECT_EQ(st.gauge("scheduler.degraded"), 1.0);
   EXPECT_EQ(max_concurrent.load(), 1);
 }
 
@@ -514,7 +517,7 @@ TEST(Scheduler, StatsReportGraphAndConflicts) {
   // guaranteed to find a non-empty graph (otherwise a fast worker can drain
   // each batch before the next insert and no conflict test ever runs).
   std::atomic<bool> release{false};
-  Scheduler::Config cfg;
+  SchedulerOptions cfg;
   cfg.workers = 1;
   Scheduler s(cfg, [&](const smr::Batch&) {
     while (!release.load()) std::this_thread::sleep_for(std::chrono::microseconds(20));
@@ -524,10 +527,40 @@ TEST(Scheduler, StatsReportGraphAndConflicts) {
   release.store(true);
   s.wait_idle();
   const auto st = s.stats();
-  EXPECT_EQ(st.batches_delivered, 10u);
-  EXPECT_GT(st.conflict.tests, 0u);
-  EXPECT_GT(st.conflict.conflicts_found, 0u);
-  EXPECT_GT(st.queue_wait_p99_ns, 0u);
+  EXPECT_EQ(st.counter("scheduler.batches_delivered"), 10u);
+  EXPECT_GT(st.counter("scheduler.insert.pair_tests"), 0u);
+  EXPECT_GT(st.counter("scheduler.insert.conflicts_found"), 0u);
+  EXPECT_GT(st.histogram("scheduler.queue_wait_ns").p99, 0u);
+  s.stop();
+}
+
+TEST(Scheduler, QueueWaitRecordedExactlyOncePerTake) {
+  // Regression: the queue-wait histogram must record exactly one sample per
+  // batch TAKEN from the graph — never a second sample when the executor
+  // fails, and never zero for batches that do execute. Invariant:
+  //   histogram.count == batches_executed + batches_failed.
+  SchedulerOptions cfg;
+  cfg.workers = 4;
+  Scheduler s(cfg, [&](const smr::Batch& b) {
+    if (b.sequence() % 3 == 0) throw std::runtime_error("fail every third");
+  });
+  s.set_on_failure([](const smr::Batch&, const std::string&) {});
+  s.start();
+  // Mix of conflicting (same key) and independent batches so samples come
+  // from both the fast path and the blocked path.
+  for (std::uint64_t i = 1; i <= 90; ++i) {
+    s.deliver(make_batch(i, {i % 5 == 0 ? 7 : i * 100}));
+  }
+  s.wait_idle();
+  const auto st = s.stats();
+  const auto executed = st.counter("scheduler.batches_executed");
+  const auto failed = st.counter("scheduler.batches_failed");
+  EXPECT_EQ(executed, 60u);
+  EXPECT_EQ(failed, 30u);
+  EXPECT_EQ(st.histogram("scheduler.queue_wait_ns").count, executed + failed);
+  // A second snapshot must not re-record anything.
+  const auto st2 = s.stats();
+  EXPECT_EQ(st2.histogram("scheduler.queue_wait_ns").count, executed + failed);
   s.stop();
 }
 

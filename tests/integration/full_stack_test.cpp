@@ -90,7 +90,7 @@ struct Deployment {
       for (auto& r : replicas) r->wait_idle();
       std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
       for (auto& r : replicas) {
-        const auto n = r->scheduler_stats().commands_executed;
+        const auto n = r->stats().counter("scheduler.commands_executed");
         lo = std::min(lo, n);
         hi = std::max(hi, n);
       }
@@ -252,8 +252,8 @@ TEST(FullStack, LockServiceGrantsConsistentlyOverPaxos) {
   while (std::chrono::steady_clock::now() < deadline) {
     replica_a.wait_idle();
     replica_b.wait_idle();
-    if (replica_a.scheduler_stats().commands_executed >= 200 &&
-        replica_b.scheduler_stats().commands_executed >= 200) {
+    if (replica_a.stats().counter("scheduler.commands_executed") >= 200 &&
+        replica_b.stats().counter("scheduler.commands_executed") >= 200) {
       break;
     }
     std::this_thread::sleep_for(10ms);
@@ -262,7 +262,7 @@ TEST(FullStack, LockServiceGrantsConsistentlyOverPaxos) {
   replica_a.stop();
   replica_b.stop();
 
-  EXPECT_EQ(replica_a.scheduler_stats().commands_executed, 200u);
+  EXPECT_EQ(replica_a.stats().counter("scheduler.commands_executed"), 200u);
   EXPECT_EQ(table_a.snapshot(), table_b.snapshot());
   EXPECT_EQ(table_a.digest(), table_b.digest());
 }

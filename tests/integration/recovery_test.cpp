@@ -70,7 +70,7 @@ struct Fixture {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (std::chrono::steady_clock::now() < deadline) {
       replica.wait_idle();
-      if (replica.scheduler_stats().commands_executed >= expected_cmds) return true;
+      if (replica.stats().counter("scheduler.commands_executed") >= expected_cmds) return true;
       std::this_thread::sleep_for(10ms);
     }
     return false;
@@ -129,8 +129,8 @@ TEST(Recovery, SnapshotPlusSuffixRecovery) {
   ASSERT_TRUE(fx.quiesce(replica_b, 100));  // replica B executes ONLY the suffix
 
   EXPECT_EQ(fx.store_a.snapshot(), store_b.snapshot());
-  EXPECT_LT(replica_b.scheduler_stats().commands_executed,
-            fx.replica_a->scheduler_stats().commands_executed)
+  EXPECT_LT(replica_b.stats().counter("scheduler.commands_executed"),
+            fx.replica_a->stats().counter("scheduler.commands_executed"))
       << "snapshot recovery must not replay the whole log";
 
   fx.group.stop();

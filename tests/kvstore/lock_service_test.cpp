@@ -102,7 +102,7 @@ TEST(LockService, SchedulerGrantsLocksInDeliveryOrderAtEveryRun) {
     LockService svc(table);
     std::mutex mu;
     std::map<std::uint64_t, std::vector<std::pair<std::uint64_t, smr::Status>>> grants;
-    core::Scheduler::Config cfg;
+    core::SchedulerOptions cfg;
     cfg.workers = workers;
     core::Scheduler sched(cfg, [&](const smr::Batch& b) {
       for (const smr::Command& c : b.commands()) {
@@ -142,7 +142,7 @@ TEST(LockService, IndependentLocksProceedConcurrently) {
   LockTable table;
   LockService svc(table);
   std::atomic<int> concurrent{0}, max_concurrent{0};
-  core::Scheduler::Config cfg;
+  core::SchedulerOptions cfg;
   cfg.workers = 8;
   core::Scheduler sched(cfg, [&](const smr::Batch& b) {
     const int now = concurrent.fetch_add(1) + 1;

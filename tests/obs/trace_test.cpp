@@ -1,0 +1,190 @@
+// BatchTracer tests: ring mechanics in isolation, then the lifecycle
+// invariant through the real schedulers — every completed record's
+// timestamps must be causally ordered
+//
+//   delivered <= inserted <= ready <= taken <= executed <= removed
+//
+// under a chaotic workload (mixed conflicts, multiple workers, injected
+// executor failures). Tests that need the ring compiled in skip themselves
+// under -DPSMR_TRACE=OFF builds.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pipelined_scheduler.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace psmr::obs {
+namespace {
+
+smr::BatchPtr make_batch(std::uint64_t seq, std::vector<smr::Key> keys) {
+  std::vector<smr::Command> cmds;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    smr::Command c;
+    c.type = smr::OpType::kUpdate;
+    c.key = keys[i];
+    c.value = seq * 1000 + i;
+    cmds.push_back(c);
+  }
+  auto b = std::make_shared<smr::Batch>(std::move(cmds));
+  b->set_sequence(seq);
+  return b;
+}
+
+void expect_ordered(const BatchTrace& t) {
+  ASSERT_TRUE(t.complete()) << "seq " << t.seq;
+  std::uint64_t prev = 0;
+  for (unsigned s = 0; s < kNumStages; ++s) {
+    const std::uint64_t ns = t.stage_ns[s];
+    ASSERT_NE(ns, 0u) << "seq " << t.seq << " missing stage "
+                      << to_string(static_cast<Stage>(s));
+    EXPECT_LE(prev, ns) << "seq " << t.seq << ": stage "
+                        << to_string(static_cast<Stage>(s))
+                        << " precedes its predecessor";
+    prev = ns;
+  }
+}
+
+TEST(BatchTracer, ZeroCapacityDisablesAtRuntime) {
+  BatchTracer tracer(0);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.begin(1);  // all no-ops
+  tracer.record(1, Stage::kInserted);
+  tracer.record_executed(1, 0, false);
+  EXPECT_TRUE(tracer.completed().empty());
+  EXPECT_EQ(tracer.started(), 0u);
+}
+
+TEST(BatchTracer, RingRecyclesOldestAndCountsEvictions) {
+  if (!BatchTracer::kCompiledIn) GTEST_SKIP() << "built with PSMR_TRACE=OFF";
+  BatchTracer tracer(4);
+  ASSERT_EQ(tracer.capacity(), 4u);
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    tracer.begin(seq);
+    for (Stage s : {Stage::kInserted, Stage::kReady, Stage::kTaken}) {
+      tracer.record(seq, s);
+    }
+    tracer.record_executed(seq, 0, false);
+    tracer.record(seq, Stage::kRemoved);
+  }
+  EXPECT_EQ(tracer.started(), 10u);
+  EXPECT_EQ(tracer.evicted(), 6u);  // 10 begun, 4 resident
+  const auto done = tracer.completed();
+  ASSERT_EQ(done.size(), 4u);
+  for (const BatchTrace& t : done) {
+    EXPECT_GE(t.seq, 7u);  // only the newest `capacity` records survive
+    expect_ordered(t);
+  }
+}
+
+TEST(BatchTracer, StaleSeqIsDroppedAfterSlotRecycled) {
+  if (!BatchTracer::kCompiledIn) GTEST_SKIP() << "built with PSMR_TRACE=OFF";
+  BatchTracer tracer(2);
+  tracer.begin(1);
+  tracer.begin(3);  // (3-1) & 1 == 0: recycles seq 1's slot
+  tracer.record(1, Stage::kInserted);           // stale: must not corrupt seq 3
+  tracer.record_executed(1, /*worker=*/5, true);  // stale
+  const auto done = tracer.completed();
+  EXPECT_TRUE(done.empty());  // nothing reached kRemoved
+  tracer.record(3, Stage::kInserted);
+  tracer.record(3, Stage::kReady);
+  tracer.record(3, Stage::kTaken);
+  tracer.record_executed(3, 2, false);
+  tracer.record(3, Stage::kRemoved);
+  const auto done2 = tracer.completed();
+  ASSERT_EQ(done2.size(), 1u);
+  EXPECT_EQ(done2[0].seq, 3u);
+  EXPECT_EQ(done2[0].worker, 2u);
+  EXPECT_FALSE(done2[0].failed);
+}
+
+// Lifecycle invariant through each real scheduler implementation, under a
+// chaotic mix: random key overlaps (so some batches block), several
+// workers, and — for the monitor scheduler, whose executor contract allows
+// throwing — injected failures.
+template <typename S>
+class TracerLifecycleTest : public ::testing::Test {};
+
+using SchedulerTypes = ::testing::Types<core::Scheduler, core::PipelinedScheduler>;
+TYPED_TEST_SUITE(TracerLifecycleTest, SchedulerTypes);
+
+TYPED_TEST(TracerLifecycleTest, StagesAreCausallyOrderedUnderChaoticWorkload) {
+  if (!BatchTracer::kCompiledIn) GTEST_SKIP() << "built with PSMR_TRACE=OFF";
+  constexpr std::uint64_t kBatches = 300;
+  core::SchedulerOptions cfg;
+  cfg.workers = 4;
+  cfg.trace_capacity = 512;  // > kBatches: no evictions, every record kept
+  std::atomic<std::uint64_t> executed{0};
+  TypeParam s(cfg, [&](const smr::Batch&) { executed.fetch_add(1); });
+  s.start();
+  util::Xoshiro256 rng(2024);
+  std::uint64_t fresh = 1 << 20;
+  for (std::uint64_t seq = 1; seq <= kBatches; ++seq) {
+    std::vector<smr::Key> keys;
+    for (int i = 0; i < 4; ++i) {
+      // 30% hot keys => plenty of batches traverse the blocked path where
+      // kReady is stamped at dependency release rather than at insert.
+      keys.push_back(rng.next_bool(0.3) ? rng.next_below(16) : fresh++);
+    }
+    s.deliver(make_batch(seq, std::move(keys)));
+  }
+  s.wait_idle();
+  s.stop();
+  EXPECT_EQ(executed.load(), kBatches);
+
+  const auto done = s.tracer().completed();
+  ASSERT_EQ(done.size(), kBatches);
+  std::vector<bool> seen(kBatches + 1, false);
+  for (const BatchTrace& t : done) {
+    expect_ordered(t);
+    EXPECT_NE(t.worker, BatchTrace::kNoWorker);
+    EXPECT_LT(t.worker, cfg.workers);
+    EXPECT_FALSE(t.failed);
+    ASSERT_GE(t.seq, 1u);
+    ASSERT_LE(t.seq, kBatches);
+    EXPECT_FALSE(seen[t.seq]) << "duplicate record for seq " << t.seq;
+    seen[t.seq] = true;
+  }
+}
+
+TEST(TracerLifecycle, FailedBatchesAreStampedAndOrderedToo) {
+  if (!BatchTracer::kCompiledIn) GTEST_SKIP() << "built with PSMR_TRACE=OFF";
+  core::SchedulerOptions cfg;
+  cfg.workers = 2;
+  cfg.trace_capacity = 64;
+  core::Scheduler s(cfg, [](const smr::Batch& b) {
+    if (b.sequence() % 2 == 0) throw std::runtime_error("injected");
+  });
+  s.set_on_failure([](const smr::Batch&, const std::string&) {});
+  s.start();
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) s.deliver(make_batch(seq, {7}));
+  s.wait_idle();
+  s.stop();
+  const auto done = s.tracer().completed();
+  ASSERT_EQ(done.size(), 20u);
+  for (const BatchTrace& t : done) {
+    expect_ordered(t);  // a failure still runs the full lifecycle
+    EXPECT_EQ(t.failed, t.seq % 2 == 0) << "seq " << t.seq;
+  }
+}
+
+TEST(TracerLifecycle, TraceCapacityZeroDisablesSchedulerTracing) {
+  core::SchedulerOptions cfg;
+  cfg.workers = 2;
+  cfg.trace_capacity = 0;
+  core::Scheduler s(cfg, [](const smr::Batch&) {});
+  s.start();
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) s.deliver(make_batch(seq, {seq}));
+  s.wait_idle();
+  s.stop();
+  EXPECT_FALSE(s.tracer().enabled());
+  EXPECT_TRUE(s.tracer().completed().empty());
+}
+
+}  // namespace
+}  // namespace psmr::obs

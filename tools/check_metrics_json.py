@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validates a psmr.metrics.v1 export (DESIGN.md §10).
+
+Usage: check_metrics_json.py METRICS_file.json [more.json ...]
+
+Checks, per file:
+  * parses as JSON and is an object;
+  * `schema` == "psmr.metrics.v1";
+  * `counters` maps dotted names -> non-negative integers;
+  * `gauges` maps dotted names -> finite numbers;
+  * `histograms` maps dotted names -> summary objects carrying exactly
+    {count,min,max,mean,p50,p99,p999}, internally consistent
+    (min <= p50 <= p99 <= p999 <= max whenever count > 0);
+  * metric names follow the `component.metric` dotted scheme.
+
+Exit status 0 when every file validates; 1 otherwise, with one line per
+problem on stderr. Stdlib only — runs anywhere CI has a python3.
+"""
+
+import json
+import math
+import re
+import sys
+
+SCHEMA = "psmr.metrics.v1"
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9][a-z0-9_]*)+$")
+HIST_FIELDS = {"count", "min", "max", "mean", "p50", "p99", "p999"}
+
+
+def fail(path, msg, problems):
+    problems.append(f"{path}: {msg}")
+
+
+def check_name(path, kind, name, problems):
+    if not NAME_RE.match(name):
+        fail(path, f"{kind} name {name!r} violates the dotted naming scheme", problems)
+
+
+def check_file(path, problems):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}", problems)
+        return
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object", problems)
+        return
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}", problems)
+
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(path, f"missing or non-object {section!r} section", problems)
+
+    for name, v in doc.get("counters", {}).items() if isinstance(doc.get("counters"), dict) else []:
+        check_name(path, "counter", name, problems)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(path, f"counter {name!r} is not a non-negative integer: {v!r}", problems)
+
+    for name, v in doc.get("gauges", {}).items() if isinstance(doc.get("gauges"), dict) else []:
+        check_name(path, "gauge", name, problems)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
+            fail(path, f"gauge {name!r} is not a finite number: {v!r}", problems)
+
+    for name, h in doc.get("histograms", {}).items() if isinstance(doc.get("histograms"), dict) else []:
+        check_name(path, "histogram", name, problems)
+        if not isinstance(h, dict):
+            fail(path, f"histogram {name!r} is not an object", problems)
+            continue
+        if set(h) != HIST_FIELDS:
+            fail(path, f"histogram {name!r} fields {sorted(h)} != {sorted(HIST_FIELDS)}", problems)
+            continue
+        bad = [k for k, v in h.items()
+               if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v)]
+        if bad:
+            fail(path, f"histogram {name!r} has non-numeric fields {bad}", problems)
+            continue
+        if h["count"] > 0 and not (h["min"] <= h["p50"] <= h["p99"] <= h["p999"] <= h["max"]):
+            fail(path, f"histogram {name!r} quantiles are not ordered: {h}", problems)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        check_file(path, problems)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        print(f"{len(argv) - 1} file(s) conform to {SCHEMA}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
