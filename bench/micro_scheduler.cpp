@@ -17,6 +17,7 @@
 
 #include "core/dependency_graph.hpp"
 #include "core/scheduler.hpp"
+#include "core/sharded_scheduler.hpp"
 #include "kvstore/kvstore.hpp"
 #include "obs/metrics.hpp"
 #include "smr/codec.hpp"
@@ -334,6 +335,177 @@ ThroughputMeasurement measure_scheduler_throughput(ConflictMode mode, IndexMode 
   return m;
 }
 
+struct ShardedMeasurement {
+  double delivery_kcmds_per_sec = 0.0;
+  double cross_fraction = 0.0;
+  psmr::obs::Snapshot final_metrics;
+};
+
+/// Delivery throughput through the ShardedScheduler on a partition-friendly
+/// workload: conflict-free kUpdate batches whose keys all hash into one
+/// target shard (round-robin across shards), mode keys-nested + scan so the
+/// per-insert cost is O(resident-in-shard) — the serialization cost that
+/// sharding divides by S. Workers (total split across shards) are pinned on
+/// per-shard sentinel batches while the delivery loop is timed, exactly
+/// like measure_scheduler_throughput; S=1 is the single-scheduler baseline.
+/// `cross_fraction` makes every (1/f)-th batch span two shards, paying the
+/// deterministic gate.
+ShardedMeasurement measure_sharded_throughput(unsigned shards, unsigned total_workers,
+                                              std::size_t batch_size,
+                                              std::size_t n_batches,
+                                              double cross_fraction) {
+  const unsigned per_shard_workers = std::max(1u, total_workers / shards);
+  const std::uint64_t n_sentinels =
+      static_cast<std::uint64_t>(shards) * per_shard_workers;
+
+  // Partition-friendly key source: walk the key space and keep the keys
+  // hashing into the requested shard (~S probes per key). Every key is
+  // distinct, so all batches are conflict-free.
+  std::uint64_t key_cursor = 1;
+  auto next_key_in_shard = [&](unsigned target) {
+    while (psmr::smr::shard_of_key(key_cursor, shards) != target) ++key_cursor;
+    return key_cursor++;
+  };
+  auto make_partition_batch = [&](std::uint64_t seq,
+                                  const std::vector<unsigned>& targets) {
+    std::vector<psmr::smr::Command> cmds;
+    cmds.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      psmr::smr::Command c;
+      c.type = psmr::smr::OpType::kUpdate;
+      c.key = next_key_in_shard(targets[i % targets.size()]);
+      cmds.push_back(c);
+    }
+    auto b = std::make_shared<psmr::smr::Batch>(std::move(cmds));
+    b->set_sequence(seq);
+    b->build_shard_mask(shards);  // stamped at formation time, as the proxy does
+    return b;
+  };
+
+  std::uint64_t seq = 0;
+  std::vector<psmr::smr::BatchPtr> pinned;
+  for (unsigned s = 0; s < shards; ++s) {
+    for (unsigned w = 0; w < per_shard_workers; ++w) {
+      pinned.push_back(make_partition_batch(++seq, {s}));
+    }
+  }
+  const std::size_t cross_period =
+      cross_fraction > 0.0 && shards > 1
+          ? std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / cross_fraction))
+          : 0;
+  std::vector<psmr::smr::BatchPtr> batches;
+  batches.reserve(n_batches);
+  for (std::size_t i = 0; i < n_batches; ++i) {
+    const auto target = static_cast<unsigned>(i % shards);
+    if (cross_period != 0 && i % cross_period == 0) {
+      batches.push_back(
+          make_partition_batch(++seq, {target, (target + 1) % shards}));
+    } else {
+      batches.push_back(make_partition_batch(++seq, {target}));
+    }
+  }
+
+  std::atomic<bool> release{false};
+  psmr::core::ShardedScheduler scheduler(
+      psmr::core::SchedulerOptions{.workers = per_shard_workers,
+                                   .shards = shards,
+                                   .mode = ConflictMode::kKeysNested,
+                                   .index = IndexMode::kScan},
+      [&release, n_sentinels](const psmr::smr::Batch& b) {
+        if (b.sequence() <= n_sentinels) {
+          while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+        }
+      });
+  scheduler.start();
+  for (auto& b : pinned) scheduler.deliver(std::move(b));
+  // Let every shard's workers take their sentinels before the timed window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& b : batches) scheduler.deliver(std::move(b));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  release.store(true, std::memory_order_release);
+  scheduler.wait_idle();
+  const psmr::obs::Snapshot st = scheduler.stats();
+  scheduler.stop();
+
+  ShardedMeasurement m;
+  m.delivery_kcmds_per_sec =
+      static_cast<double>(n_batches * batch_size) / secs / 1000.0;
+  m.cross_fraction = st.gauge("scheduler.cross_shard_fraction");
+  m.final_metrics = st;
+  return m;
+}
+
+/// The shard-scaling rows (ISSUE 5 acceptance: >= 1.5x delivery throughput
+/// at S=4 on a partition-friendly workload). Shared between the full
+/// `--json` run (section of BENCH_scheduler.json) and the `--shards` smoke
+/// target (own file, so parallel ctest runs never race on one path).
+void write_sharded_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metrics) {
+  const std::size_t n = smoke ? 300 : 2000;
+  const std::size_t batch_size = 16;
+  struct Row {
+    unsigned shards;
+    double cross;
+  };
+  const Row rows[] = {{1, 0.0}, {2, 0.0}, {4, 0.0}, {4, 0.05}};
+  double baseline = 0.0;
+  bool first = true;
+  for (const Row& r : rows) {
+    const ShardedMeasurement m =
+        measure_sharded_throughput(r.shards, /*total_workers=*/4, batch_size, n, r.cross);
+    if (r.shards == 1) baseline = m.delivery_kcmds_per_sec;
+    const double speedup = baseline > 0.0 ? m.delivery_kcmds_per_sec / baseline : 0.0;
+    std::fprintf(f,
+                 "%s    {\"mode\": \"keys-nested\", \"index\": \"scan\", \"shards\": %u, "
+                 "\"workers_per_shard\": %u, \"batch_size\": %zu, \"batches\": %zu, "
+                 "\"cross_shard_fraction\": %.3f, \"delivery_kcmds_per_sec\": %.1f, "
+                 "\"speedup_vs_single\": %.2f}",
+                 first ? "" : ",\n", r.shards, std::max(1u, 4 / r.shards), batch_size, n,
+                 m.cross_fraction, m.delivery_kcmds_per_sec, speedup);
+    first = false;
+    std::printf("sharded      shards=%u cross=%.2f: %10.1f kCmds/s delivery, "
+                "%.2fx vs single\n",
+                r.shards, m.cross_fraction, m.delivery_kcmds_per_sec, speedup);
+    if (last_metrics != nullptr) *last_metrics = m.final_metrics;
+  }
+}
+
+/// `--shards` mode: only the shard-scaling rows, written to
+/// BENCH_scheduler_shards.json (+ the sharded run's psmr.metrics.v1 export
+/// for the schema fixture).
+int shards_main(bool smoke, const char* metrics_path) {
+  FILE* f = std::fopen("BENCH_scheduler_shards.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scheduler_shards.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_shards\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"sharded_scheduler\": [\n");
+  psmr::obs::Snapshot last_metrics;
+  write_sharded_rows(f, smoke, &last_metrics);
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scheduler_shards.json\n");
+
+  if (metrics_path != nullptr) {
+    FILE* mf = std::fopen(metrics_path, "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      return 1;
+    }
+    const std::string json = last_metrics.to_json();
+    std::fwrite(json.data(), 1, json.size(), mf);
+    std::fputc('\n', mf);
+    std::fclose(mf);
+    std::printf("wrote %s\n", metrics_path);
+  }
+  return 0;
+}
+
 int json_main(bool smoke, const char* metrics_path) {
   const std::size_t insert_iters = smoke ? 200 : 2000;
   const std::size_t tput_batches = smoke ? 300 : 2000;
@@ -412,6 +584,8 @@ int json_main(bool smoke, const char* metrics_path) {
       last_metrics = std::move(m.final_metrics);
     }
   }
+  std::fprintf(f, "\n  ],\n  \"sharded_scheduler\": [\n");
+  write_sharded_rows(f, smoke, nullptr);
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler.json\n");
@@ -438,13 +612,20 @@ int json_main(bool smoke, const char* metrics_path) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool shards = false;
   bool smoke = false;
   const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--shards") == 0) shards = true;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--metrics-json") == 0) metrics_path = "METRICS_scheduler.json";
     if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) metrics_path = argv[i] + 15;
+  }
+  if (shards) {
+    return shards_main(smoke,
+                       metrics_path != nullptr ? metrics_path
+                                               : "METRICS_sharded_scheduler.json");
   }
   if (json) return json_main(smoke, metrics_path);
   benchmark::Initialize(&argc, argv);

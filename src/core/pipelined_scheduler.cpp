@@ -22,6 +22,7 @@ PipelinedScheduler::PipelinedScheduler(SchedulerOptions options, Executor execut
       batches_delivered_metric_(&metrics_->counter("scheduler.batches_delivered")),
       batches_executed_metric_(&metrics_->counter("scheduler.batches_executed")),
       commands_executed_metric_(&metrics_->counter("scheduler.commands_executed")),
+      batches_failed_metric_(&metrics_->counter("scheduler.batches_failed")),
       queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
       tracer_(config_.trace_capacity),
       graph_(config_.mode, config_.index) {
@@ -120,15 +121,49 @@ obs::Snapshot PipelinedScheduler::stats() const {
     metrics_->gauge("graph.index.active").set(graph_.index_active() ? 1.0 : 0.0);
     metrics_->gauge("graph.index.fell_back_to_scan")
         .set(is.fell_back_to_scan ? 1.0 : 0.0);
+    metrics_->gauge("scheduler.degraded")
+        .set(degraded_public_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
     metrics_->gauge("trace.capacity").set(static_cast<double>(tracer_.capacity()));
   }
   return metrics_->snapshot();
 }
 
 void PipelinedScheduler::scheduler_loop() {
+  // Degraded-mode gate, mirroring Scheduler::can_take_locked(): while the
+  // circuit is tripped, at most one batch is in flight at a time. Outside
+  // degraded mode every free node is dispatched.
   auto dispatch_free = [&] {
-    while (DependencyGraph::Node* node = graph_.take_oldest_free()) {
+    while (!(degraded_ && inflight_ > 0)) {
+      DependencyGraph::Node* node = graph_.take_oldest_free();
+      if (node == nullptr) break;
+      ++inflight_;
       ready_.push(node);
+    }
+  };
+  // Circuit accounting runs on this thread only (completions arrive through
+  // the event queue), so the counters need no lock — the same consecutive-
+  // success/failure state machine as the monitor Scheduler's worker_loop.
+  auto account = [&](bool failed) {
+    --inflight_;
+    if (failed) {
+      consecutive_successes_ = 0;
+      if (config_.circuit_failure_threshold != 0 && !degraded_ &&
+          ++consecutive_failures_ >= config_.circuit_failure_threshold) {
+        degraded_ = true;  // circuit trips: sequential single-batch mode
+        degraded_public_.store(true, std::memory_order_relaxed);
+        metrics_->counter("scheduler.circuit.trips").add(1);
+        metrics_->gauge("scheduler.degraded").set(1.0);
+      }
+    } else {
+      consecutive_failures_ = 0;
+      if (degraded_ && config_.circuit_recovery_threshold != 0 &&
+          ++consecutive_successes_ >= config_.circuit_recovery_threshold) {
+        degraded_ = false;  // half-open probe succeeded: circuit closes
+        degraded_public_.store(false, std::memory_order_relaxed);
+        consecutive_successes_ = 0;
+        metrics_->counter("scheduler.circuit.recoveries").add(1);
+        metrics_->gauge("scheduler.degraded").set(0.0);
+      }
     }
   };
   while (auto event = events_.pop()) {
@@ -139,6 +174,7 @@ void PipelinedScheduler::scheduler_loop() {
     } else {
       auto& completion = std::get<Completion>(*event);
       graph_.remove(completion.node);
+      account(completion.failed);
       dispatch_free();
       stats_lk.unlock();
       const bool reached_idle =
@@ -161,12 +197,33 @@ void PipelinedScheduler::worker_loop(unsigned worker_index) {
     // → pop: the same queue-wait semantics as the monitor scheduler.
     queue_wait_metric_->record(util::now_ns() - (*node)->inserted_at_ns);
     const std::uint64_t seq = (*node)->seq;
-    executor_(*batch);
-    tracer_.record_executed(seq, worker_index, /*failed=*/false);
-    batches_executed_metric_->add(1);
-    commands_executed_metric_->add(batch->size());
-    worker_batches_metric_[worker_index]->add(1);
-    events_.push(Event{Completion{*node}});
+    // Fault isolation (parity with Scheduler::worker_loop): a throwing
+    // executor must not kill the worker or wedge the graph. The Completion
+    // carries the verdict back to the graph-owner thread, which runs the
+    // circuit breaker.
+    bool ok = true;
+    std::string what;
+    try {
+      executor_(*batch);
+    } catch (const std::exception& e) {
+      ok = false;
+      what = e.what();
+    } catch (...) {
+      ok = false;
+      what = "non-standard exception";
+    }
+    tracer_.record_executed(seq, worker_index, /*failed=*/!ok);
+    if (ok) {
+      batches_executed_metric_->add(1);
+      commands_executed_metric_->add(batch->size());
+      worker_batches_metric_[worker_index]->add(1);
+    } else {
+      // A failed batch never counts as executed (stats parity with the
+      // monitor scheduler).
+      batches_failed_metric_->add(1);
+      if (on_failure_) on_failure_(*batch, what);
+    }
+    events_.push(Event{Completion{*node, /*failed=*/!ok}});
   }
 }
 

@@ -48,9 +48,11 @@ namespace psmr::core {
 class PipelinedScheduler {
  public:
   /// Deprecated alias kept for one release — use SchedulerOptions.
-  /// (circuit_failure_threshold is ignored here: the pipelined executor
-  /// contract forbids throwing.)
   using Config = SchedulerOptions;
+
+  /// Invoked (on the worker thread, outside any scheduler state) when an
+  /// executor throws — same contract as Scheduler::FailureFn.
+  using FailureFn = std::function<void(const smr::Batch&, const std::string&)>;
 
   using Executor = std::function<void(const smr::Batch&)>;
 
@@ -64,6 +66,20 @@ class PipelinedScheduler {
   bool deliver(smr::BatchPtr batch);
   void wait_idle();
   void stop();
+
+  /// Optional hook observing failed batches. Set before start().
+  void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
+
+  /// True while the failure circuit is tripped (fault-isolation parity with
+  /// Scheduler: circuit_failure_threshold consecutive executor throws trip
+  /// it; circuit_recovery_threshold consecutive successes half-open and
+  /// clear it). While degraded the graph-owner thread dispatches at most
+  /// one batch at a time; batches already sitting in the ready queue at
+  /// trip time still drain first (the dispatch gate counts them as
+  /// in-flight, so no NEW work is released until they finish).
+  bool degraded() const noexcept {
+    return degraded_public_.load(std::memory_order_relaxed);
+  }
 
   /// Unified metrics snapshot — same names and schema as Scheduler::stats()
   /// (`scheduler.*`, `graph.*`, `worker.N.*`, `scheduler.queue_wait_ns`).
@@ -88,6 +104,7 @@ class PipelinedScheduler {
   };
   struct Completion {
     DependencyGraph::Node* node;
+    bool failed;  // executor threw — feeds the circuit breaker
   };
   using Event = std::variant<Delivery, Completion>;
 
@@ -96,6 +113,7 @@ class PipelinedScheduler {
 
   SchedulerOptions config_;
   Executor executor_;
+  FailureFn on_failure_;
 
   // Registry handles resolved once at construction; hot paths touch only
   // the cached pointers.
@@ -103,6 +121,7 @@ class PipelinedScheduler {
   obs::Counter* batches_delivered_metric_;
   obs::Counter* batches_executed_metric_;
   obs::Counter* commands_executed_metric_;
+  obs::Counter* batches_failed_metric_;
   obs::HistogramMetric* queue_wait_metric_;
   std::vector<obs::Counter*> worker_batches_metric_;
   obs::BatchTracer tracer_;
@@ -113,6 +132,16 @@ class PipelinedScheduler {
   // Owned exclusively by the scheduler thread after start().
   DependencyGraph graph_;
   std::uint64_t next_seq_check_ = 0;
+
+  // Circuit-breaker state, owned by the scheduler thread (no lock needed:
+  // completions and dispatch decisions all flow through it). inflight_
+  // counts nodes pushed to ready_ whose Completion has not come back —
+  // the degraded-mode dispatch gate.
+  std::size_t inflight_ = 0;
+  unsigned consecutive_failures_ = 0;
+  unsigned consecutive_successes_ = 0;
+  bool degraded_ = false;
+  std::atomic<bool> degraded_public_{false};  // mirror for the accessor
 
   std::atomic<std::uint64_t> outstanding_{0};  // delivered - removed
   std::atomic<bool> stopping_{false};

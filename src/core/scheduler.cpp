@@ -202,18 +202,32 @@ void Scheduler::worker_loop(unsigned worker_index) {
     const std::size_t freed = graph_.remove(node);
     // Counter bumps happen under mu_ so a wait_idle()-then-stats() caller
     // observes every increment (the idle notify below synchronizes).
+    bool recovered_now = false;
     if (ok) {
       batches_executed_metric_->add(1);
       commands_executed_metric_->add(batch->size());
       worker_batches_metric_[worker_index]->add(1);
       consecutive_failures_ = 0;
+      // Half-open recovery: degraded mode runs one batch at a time, so
+      // successes here are genuinely consecutive. Enough of them in a row
+      // close the circuit and restore concurrent execution.
+      if (degraded_ && config_.circuit_recovery_threshold != 0 &&
+          ++consecutive_successes_ >= config_.circuit_recovery_threshold) {
+        degraded_ = false;
+        consecutive_successes_ = 0;
+        recovered_now = true;
+        metrics_->counter("scheduler.circuit.recoveries").add(1);
+        metrics_->gauge("scheduler.degraded").set(0.0);
+      }
     } else {
       // A failed batch never counts as executed — no false "executed"
       // state leaks into the stats consumers (tests, quiesce loops).
       batches_failed_metric_->add(1);
+      consecutive_successes_ = 0;  // a failure restarts the probation window
       if (config_.circuit_failure_threshold != 0 && !degraded_ &&
           ++consecutive_failures_ >= config_.circuit_failure_threshold) {
         degraded_ = true;  // circuit trips: sequential single-batch mode
+        metrics_->counter("scheduler.circuit.trips").add(1);
         metrics_->gauge("scheduler.degraded").set(1.0);
       }
     }
@@ -221,7 +235,11 @@ void Scheduler::worker_loop(unsigned worker_index) {
     // notifies fire after it is released — replacing the previous
     // unlock/notify/lock dance (up to three mutex round-trips per batch)
     // with a single release/notify/re-acquire.
-    const bool wake_all_ready = freed > 1 && can_take_locked();
+    const bool wake_all_ready =
+        (freed > 1 && can_take_locked()) ||
+        // Leaving degraded mode re-opens the concurrency gate for every
+        // already-free batch, not just the ones this remove() freed.
+        (recovered_now && graph_.num_free() > 0);
     // Degraded mode: finishing this batch may unpark a peer even when
     // nothing new became free (the in-flight gate just opened).
     const bool wake_one_ready =

@@ -70,7 +70,10 @@ class Scheduler {
   /// when the executor itself cannot). Set before start().
   void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
 
-  /// True once the failure circuit tripped.
+  /// True while the failure circuit is tripped. With
+  /// circuit_recovery_threshold set, the circuit half-opens: enough
+  /// consecutive successful batches clear it again (`scheduler.circuit.*`
+  /// counters record every transition).
   bool degraded() const;
 
   /// Unified metrics snapshot (DESIGN.md §10 catalogue): `scheduler.*`
@@ -128,6 +131,7 @@ class Scheduler {
   bool stopping_ = false;
   bool started_ = false;
   unsigned consecutive_failures_ = 0;
+  unsigned consecutive_successes_ = 0;  // probation progress while degraded
   bool degraded_ = false;
 
   // Graph-internal accumulators (conflict/index stats, batches inserted)

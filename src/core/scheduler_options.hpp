@@ -19,8 +19,15 @@ class MetricsRegistry;
 namespace psmr::core {
 
 struct SchedulerOptions {
-  /// Number of worker threads N.
+  /// Number of worker threads N. For the ShardedScheduler this is the pool
+  /// size PER SHARD (total execution threads = shards * workers).
   unsigned workers = 1;
+
+  /// Key-space partitions of the ShardedScheduler (DESIGN.md §11): each
+  /// shard owns an independent dependency graph, monitor, and worker pool.
+  /// Capped at 64 so a batch's touched-shard set fits one mask word. The
+  /// single-graph Scheduler and PipelinedScheduler ignore it.
+  unsigned shards = 1;
 
   /// Conflict detection mechanism (the paper's `useBitmap` switch,
   /// generalized).
@@ -39,11 +46,18 @@ struct SchedulerOptions {
   /// failed batches (executor threw), the scheduler degrades to sequential
   /// single-batch execution — one batch in flight at a time, delivery order
   /// — instead of crashing or wedging. 0 disables the circuit (failures are
-  /// still isolated and counted). A successful batch resets the consecutive
-  /// count but never un-trips the circuit. Honoured by the monitor
-  /// Scheduler; the PipelinedScheduler ignores it (its executor contract
-  /// forbids throwing).
+  /// still isolated and counted). Honoured by both the monitor Scheduler
+  /// and the PipelinedScheduler (and, through its per-shard engines, the
+  /// ShardedScheduler).
   unsigned circuit_failure_threshold = 0;
+
+  /// Half-open recovery for the circuit breaker: while degraded, this many
+  /// CONSECUTIVE successful batches close the circuit and restore
+  /// concurrent execution (a probation window — any failure during it
+  /// resets the success count, and accumulating failures re-trip the
+  /// circuit as usual). 0 keeps the pre-recovery behaviour: once tripped,
+  /// the scheduler stays sequential until restart.
+  unsigned circuit_recovery_threshold = 0;
 
   /// Ring capacity of the batch-lifecycle tracer (obs::BatchTracer),
   /// rounded up to a power of two. 0 disables tracing at runtime; building
@@ -61,6 +75,7 @@ struct SchedulerOptions {
   /// early for a better failure location.
   void validate() const {
     PSMR_CHECK(workers >= 1);
+    PSMR_CHECK(shards >= 1 && shards <= 64);
     PSMR_CHECK(static_cast<unsigned>(mode) <= static_cast<unsigned>(ConflictMode::kBitmapSparse));
     PSMR_CHECK(static_cast<unsigned>(index) <= static_cast<unsigned>(IndexMode::kAuto));
   }

@@ -1,0 +1,224 @@
+#include "core/sharded_scheduler.hpp"
+
+#include <bit>
+#include <exception>
+
+#include "util/assert.hpp"
+
+namespace psmr::core {
+
+ShardedScheduler::ShardedScheduler(SchedulerOptions options, Executor executor)
+    : config_(std::move(options)),
+      executor_(std::move(executor)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      batches_delivered_metric_(&metrics_->counter("scheduler.batches_delivered")),
+      batches_executed_metric_(&metrics_->counter("scheduler.batches_executed")),
+      commands_executed_metric_(&metrics_->counter("scheduler.commands_executed")),
+      batches_failed_metric_(&metrics_->counter("scheduler.batches_failed")),
+      single_shard_metric_(&metrics_->counter("scheduler.batches_single_shard")),
+      cross_shard_metric_(&metrics_->counter("scheduler.batches_cross_shard")) {
+  config_.validate();
+  PSMR_CHECK(executor_ != nullptr);
+  shards_.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    SchedulerOptions sub = config_;
+    // Each engine gets a private registry — `worker.N.*` and `scheduler.*`
+    // names would collide in a shared one; stats() merges the engine
+    // snapshots under `shard.N.` instead.
+    sub.metrics = nullptr;
+    sub.shards = 1;
+    shards_.push_back(std::make_unique<Scheduler>(
+        std::move(sub),
+        [this, s](const smr::Batch& b) { execute_as_shard(s, b); }));
+  }
+  metrics_->gauge("scheduler.shards").set(static_cast<double>(config_.shards));
+  metrics_->gauge("scheduler.workers")
+      .set(static_cast<double>(config_.shards) * config_.workers);
+}
+
+ShardedScheduler::~ShardedScheduler() { stop(); }
+
+void ShardedScheduler::start() {
+  for (auto& shard : shards_) shard->start();
+}
+
+void ShardedScheduler::set_on_failure(FailureFn fn) {
+  on_failure_ = std::move(fn);
+  // A failed batch throws out of exactly one engine (its owner, or the
+  // gate leader), so forwarding to every engine still fires the hook once
+  // per failure.
+  for (auto& shard : shards_) {
+    shard->set_on_failure([this](const smr::Batch& b, const std::string& what) {
+      if (on_failure_) on_failure_(b, what);
+    });
+  }
+}
+
+std::size_t ShardedScheduler::shard_of(smr::Key key) const noexcept {
+  return smr::shard_of_key(key, static_cast<unsigned>(shards_.size()));
+}
+
+bool ShardedScheduler::deliver(smr::BatchPtr batch) {
+  PSMR_CHECK(batch != nullptr);
+  PSMR_CHECK(batch->sequence() != 0);
+  const unsigned S = num_shards();
+  // Use the mask stamped at batch-formation time when it matches our shard
+  // count; otherwise recompute on the spot (one pass — correctness never
+  // depends on the proxy agreeing with the replica, only cost does).
+  std::uint64_t mask = batch->shard_count() == S
+                           ? batch->shard_mask()
+                           : smr::compute_shard_mask(*batch, S);
+  if (mask == 0) mask = 1;  // empty batch: route to shard 0
+  const int touched = std::popcount(mask);
+  if (touched == 1) {
+    // Fast path: the whole batch lives in one shard — no gate, no shared
+    // state beyond that shard's own monitor.
+    const auto s = static_cast<std::size_t>(std::countr_zero(mask));
+    if (!shards_[s]->deliver(std::move(batch))) return false;
+    batches_delivered_metric_->add(1);
+    single_shard_metric_->add(1);
+    return true;
+  }
+  // Cross-shard batch: register the rendezvous gate FIRST (workers may take
+  // the batch the instant it is inserted), then enqueue it into every
+  // touched shard in ascending shard order. All replicas deliver in the
+  // same total order, so every shard sees the same subsequence — the gate
+  // is a delivery-order barrier.
+  auto gate = std::make_shared<Gate>();
+  gate->expected = static_cast<unsigned>(touched);
+  gate->leader = static_cast<std::size_t>(std::countr_zero(mask));
+  {
+    std::lock_guard lk(gates_mu_);
+    gates_.emplace(batch->sequence(), gate);
+  }
+  std::uint64_t delivered = 0;
+  for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(rest));
+    if (shards_[s]->deliver(batch)) delivered |= std::uint64_t{1} << s;
+  }
+  if (delivered == 0) {
+    // Raced stop() before any shard accepted it: the batch is nowhere.
+    std::lock_guard lk(gates_mu_);
+    gates_.erase(batch->sequence());
+    return false;
+  }
+  if (delivered != mask) {
+    // Partial acceptance during shutdown: shrink the gate to the shards
+    // that actually hold the batch so the rendezvous still resolves.
+    std::lock_guard lk(gate->mu);
+    gate->expected = static_cast<unsigned>(std::popcount(delivered));
+    gate->leader = static_cast<std::size_t>(std::countr_zero(delivered));
+    gate->cv.notify_all();
+  }
+  batches_delivered_metric_->add(1);
+  cross_shard_metric_->add(1);
+  return true;
+}
+
+void ShardedScheduler::execute_as_shard(std::size_t shard_index,
+                                        const smr::Batch& batch) {
+  std::shared_ptr<Gate> gate;
+  {
+    std::lock_guard lk(gates_mu_);
+    const auto it = gates_.find(batch.sequence());
+    if (it != gates_.end()) gate = it->second;
+  }
+  if (gate == nullptr) {
+    // Single-shard batch: run it right here, on this shard's worker.
+    try {
+      executor_(batch);
+    } catch (...) {
+      batches_failed_metric_->add(1);
+      throw;  // the shard engine isolates the fault and fires on_failure
+    }
+    batches_executed_metric_->add(1);
+    commands_executed_metric_->add(batch.size());
+    return;
+  }
+  rendezvous(shard_index, *gate, batch);
+}
+
+void ShardedScheduler::rendezvous(std::size_t shard_index, Gate& gate,
+                                  const smr::Batch& batch) {
+  std::unique_lock lk(gate.mu);
+  ++gate.arrived;
+  if (gate.arrived == gate.expected) gate.cv.notify_all();
+  gate.cv.wait(lk, [&] {
+    return gate.done ||
+           (shard_index == gate.leader && gate.arrived == gate.expected);
+  });
+  std::exception_ptr err;
+  if (!gate.done && shard_index == gate.leader) {
+    // Every touched shard has parked this batch's node: all its local
+    // predecessors (in delivery order) are done in every shard, so the
+    // leader executing now is exactly where the single scheduler would
+    // execute it. Run outside the gate lock.
+    lk.unlock();
+    try {
+      executor_(batch);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      batches_failed_metric_->add(1);
+    } else {
+      batches_executed_metric_->add(1);
+      commands_executed_metric_->add(batch.size());
+    }
+    lk.lock();
+    gate.done = true;
+    gate.cv.notify_all();
+  }
+  // Departure: the last shard out retires the gate. Followers return
+  // normally — their engines then release the batch's local dependents.
+  const bool last = ++gate.departed == gate.expected;
+  lk.unlock();
+  if (last) {
+    std::lock_guard g(gates_mu_);
+    gates_.erase(batch.sequence());
+  }
+  // Only the leader rethrows, so the failure is accounted (and on_failure
+  // fired) exactly once, in the leader's engine.
+  if (err) std::rethrow_exception(err);
+}
+
+void ShardedScheduler::wait_idle() {
+  // Delivery has stopped mutating shard s once the caller is in here, and
+  // a cross-shard batch stays resident in EVERY touched shard until its
+  // gate resolves — so waiting shard by shard observes a true global
+  // quiescent point.
+  for (auto& shard : shards_) shard->wait_idle();
+}
+
+void ShardedScheduler::stop() {
+  // Engines drain before joining; gates resolve because the not-yet-
+  // stopped shards' workers keep running until their own stop().
+  for (auto& shard : shards_) shard->stop();
+}
+
+bool ShardedScheduler::degraded() const {
+  for (const auto& shard : shards_) {
+    if (shard->degraded()) return true;
+  }
+  return false;
+}
+
+obs::Snapshot ShardedScheduler::stats() const {
+  const auto single = static_cast<double>(single_shard_metric_->value());
+  const auto cross = static_cast<double>(cross_shard_metric_->value());
+  const double total = single + cross;
+  metrics_->gauge("scheduler.cross_shard_fraction")
+      .set(total == 0.0 ? 0.0 : cross / total);
+  obs::Snapshot snap = metrics_->snapshot();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snap.merge(shards_[s]->stats(), "shard." + std::to_string(s) + ".");
+  }
+  return snap;
+}
+
+void ShardedScheduler::check_invariants() const {
+  for (const auto& shard : shards_) shard->check_invariants();
+}
+
+}  // namespace psmr::core

@@ -46,6 +46,17 @@ bool Snapshot::has_counter(std::string_view name) const {
   return counters_.contains(name);
 }
 
+std::uint64_t Snapshot::counter_sum(std::string_view suffix) const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, v] : counters_) {
+    if (name.size() >= suffix.size() &&
+        std::string_view(name).substr(name.size() - suffix.size()) == suffix) {
+      sum += v;
+    }
+  }
+  return sum;
+}
+
 void Snapshot::merge(const Snapshot& other, std::string_view prefix) {
   const auto prefixed = [&](const std::string& name) {
     return std::string(prefix) + name;

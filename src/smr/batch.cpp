@@ -2,7 +2,30 @@
 
 #include <unordered_map>
 
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
 namespace psmr::smr {
+
+std::size_t shard_of_key(Key key, unsigned shards) noexcept {
+  // mix64 + Lemire reduction: uniform over [0, S) with no modulo bias, and
+  // a pure function of the key (replica-identical, hash.hpp contract).
+  return static_cast<std::size_t>(util::reduce_range(util::mix64(key), shards));
+}
+
+std::uint64_t compute_shard_mask(const Batch& batch, unsigned shards) noexcept {
+  std::uint64_t mask = 0;
+  for (const Command& c : batch.commands()) {
+    mask |= std::uint64_t{1} << shard_of_key(c.key, shards);
+  }
+  return mask;
+}
+
+void Batch::build_shard_mask(unsigned shards) {
+  PSMR_CHECK(shards >= 1 && shards <= 64);
+  shard_mask_ = compute_shard_mask(*this, shards);
+  shard_count_ = shards;
+}
 
 void Batch::build_bitmap(const BitmapConfig& cfg) {
   split_rw_ = cfg.split_read_write;

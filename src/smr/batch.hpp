@@ -80,6 +80,20 @@ class Batch {
   /// scheme.
   const std::vector<std::uint32_t>& bitmap_positions() const noexcept { return positions_; }
 
+  /// Builds the touched-shard set for an S-shard scheduler (DESIGN.md §11):
+  /// bit s is set iff some command's key maps to shard s under
+  /// shard_of_key(key, S). Computed at batch-formation time like the Bloom
+  /// digest — one pass over the commands, off the delivery critical path.
+  /// Idempotent; S ≤ 64 so the set fits one mask word.
+  void build_shard_mask(unsigned shards);
+
+  /// Touched-shard bitmask, and the shard count it was computed for
+  /// (0 = build_shard_mask never ran; the scheduler recomputes on the
+  /// spot when its S differs — correctness never depends on the proxy
+  /// and replica agreeing, only cost does).
+  std::uint64_t shard_mask() const noexcept { return shard_mask_; }
+  unsigned shard_count() const noexcept { return shard_count_; }
+
  private:
   std::uint64_t sequence_ = 0;
   std::uint64_t proxy_id_ = 0;
@@ -88,10 +102,22 @@ class Batch {
   util::KeyBloom write_bloom_;
   util::KeyBloom read_bloom_;
   std::vector<std::uint32_t> positions_;
+  std::uint64_t shard_mask_ = 0;
+  unsigned shard_count_ = 0;
   bool split_rw_ = false;
 };
 
 using BatchPtr = std::shared_ptr<const Batch>;
+
+/// Deterministic key → shard map for the sharded scheduler. A pure function
+/// of (key, shards) — identical at every proxy and replica, like the bitmap
+/// hash — so all replicas agree on every batch's touched-shard set.
+std::size_t shard_of_key(Key key, unsigned shards) noexcept;
+
+/// One-pass touched-shard set of a batch (what build_shard_mask caches).
+/// Used by the scheduler when a delivered batch carries no mask, or one
+/// computed for a different shard count.
+std::uint64_t compute_shard_mask(const Batch& batch, unsigned shards) noexcept;
 
 /// Bitmap-based batch conflict test (paper lines 28–29): true iff the
 /// digests intersect, computed exactly as the paper's prototype does — a

@@ -68,6 +68,7 @@ Batch Proxy::build_batch() {
   Batch batch(std::move(commands));
   batch.set_proxy_id(config_.proxy_id);
   if (config_.use_bitmap) batch.build_bitmap(config_.bitmap);
+  if (config_.shards != 0) batch.build_shard_mask(config_.shards);
   return batch;
 }
 

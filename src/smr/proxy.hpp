@@ -74,6 +74,11 @@ class Proxy {
     /// Whether to attach the Bloom digest, and its parameters.
     bool use_bitmap = false;
     BitmapConfig bitmap;
+    /// When non-zero, each batch is also stamped with its touched-shard
+    /// set for an S-shard scheduler (Batch::build_shard_mask) — computed
+    /// here at batch-formation time, off the delivery critical path, like
+    /// the Bloom digest. 0 = skip (single-graph schedulers).
+    unsigned shards = 0;
     /// Retransmission policy for lost batches/responses.
     RetryConfig retry;
   };

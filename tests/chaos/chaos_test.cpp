@@ -196,5 +196,85 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(3u, 11u, 29u),
                            return "seed_" + std::to_string(info.param);
                          });
 
+TEST(ChaosRecovery, CircuitRecoversAfterFaultsStopInjecting) {
+  // ISSUE 5: a fault schedule that stops injecting mid-run must leave the
+  // replica fully recovered — the circuit breaker half-opens on clean
+  // traffic, `scheduler.degraded` returns to 0, and
+  // `scheduler.batches_executed` keeps advancing at full parallelism.
+  kv::KvStore store;
+  kv::KvService svc(store);
+  testing::ThrowingService throwing(svc);
+  // The whole fault script: client 1's first three commands (one per batch,
+  // below) throw; nothing after sequence 3 ever faults.
+  throwing.throw_on(1, 1);
+  throwing.throw_on(1, 2);
+  throwing.throw_on(1, 3);
+
+  smr::Replica::Config rcfg;
+  rcfg.scheduler.workers = 4;
+  rcfg.scheduler.mode = core::ConflictMode::kKeysNested;
+  rcfg.scheduler.circuit_failure_threshold = 2;
+  rcfg.scheduler.circuit_recovery_threshold = 3;
+  smr::Replica replica(rcfg, throwing, [](const smr::Response&) {});
+  replica.start();
+
+  auto make = [](std::uint64_t seq, smr::Key key) {
+    smr::Command c;
+    c.type = smr::OpType::kUpdate;
+    c.key = key;
+    c.value = seq;
+    c.client_id = 1;
+    c.sequence = seq;
+    auto b = std::make_shared<smr::Batch>(std::vector<smr::Command>{c});
+    b->set_sequence(seq);
+    return b;
+  };
+
+  // Phase 1: every delivered batch faults (same key -> strictly sequential,
+  // so the consecutive-failure count is deterministic) and the circuit
+  // trips at the configured threshold.
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) replica.deliver(make(seq, 7));
+  replica.wait_idle();
+  {
+    const auto st = replica.stats();
+    EXPECT_EQ(st.counter("scheduler.batches_failed"), 3u);
+    EXPECT_EQ(st.counter("scheduler.circuit.trips"), 1u);
+    EXPECT_EQ(st.gauge("scheduler.degraded"), 1.0);
+  }
+
+  // Phase 2: the schedule has stopped injecting. Drive clean traffic until
+  // the scheduler leaves degraded mode (bounded: 3 consecutive successes
+  // close the circuit, so this converges after 3 batches).
+  std::uint64_t seq = 3;
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (replica.stats().gauge("scheduler.degraded") != 0.0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ++seq;
+    replica.deliver(make(seq, 1000 + seq));
+    replica.wait_idle();
+  }
+  {
+    const auto st = replica.stats();
+    EXPECT_EQ(st.gauge("scheduler.degraded"), 0.0);
+    EXPECT_EQ(st.counter("scheduler.circuit.recoveries"), 1u);
+  }
+
+  // Phase 3: liveness after recovery — batches_executed keeps advancing.
+  const std::uint64_t executed_at_recovery =
+      replica.stats().counter("scheduler.batches_executed");
+  for (int i = 0; i < 20; ++i) {
+    ++seq;
+    replica.deliver(make(seq, 2000 + seq));
+  }
+  replica.wait_idle();
+  replica.stop();
+  const auto st = replica.stats();
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), executed_at_recovery + 20);
+  EXPECT_EQ(st.counter("scheduler.circuit.trips"), 1u);
+  EXPECT_EQ(throwing.throws(), 3u);
+  // Replica state reflects every non-faulted command exactly once.
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(seq - 3));
+}
+
 }  // namespace
 }  // namespace psmr

@@ -176,6 +176,101 @@ TYPED_TEST(AnySchedulerTest, BackpressureBlocksProducer) {
   s.stop();
 }
 
+TYPED_TEST(AnySchedulerTest, FailureIsolationParity) {
+  // Both scheduler variants must isolate a throwing executor identically:
+  // the batch counts as failed (never executed), dependents still run,
+  // on_failure fires once, and the worker survives.
+  std::atomic<std::uint64_t> executed{0};
+  SchedulerOptions cfg;
+  cfg.workers = 2;
+  TypeParam s(cfg, [&](const smr::Batch& b) {
+    if (b.sequence() == 1) throw std::runtime_error("poisoned batch");
+    executed.fetch_add(b.size());
+  });
+  std::atomic<int> failures_seen{0};
+  std::mutex msg_mu;
+  std::string failure_msg;
+  s.set_on_failure([&](const smr::Batch& b, const std::string& what) {
+    EXPECT_EQ(b.sequence(), 1u);
+    std::lock_guard lk(msg_mu);
+    failure_msg = what;
+    failures_seen.fetch_add(1);
+  });
+  s.start();
+  s.deliver(make_batch(1, {7}));      // throws
+  s.deliver(make_batch(2, {7}));      // depends on the failed batch
+  s.deliver(make_batch(3, {9, 10}));  // independent
+  s.wait_idle();
+  s.stop();
+  const auto st = s.stats();
+  EXPECT_EQ(st.counter("scheduler.batches_failed"), 1u);
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 2u);
+  EXPECT_EQ(st.counter("scheduler.commands_executed"), 3u);
+  EXPECT_EQ(executed.load(), 3u);
+  EXPECT_EQ(failures_seen.load(), 1);
+  EXPECT_EQ(failure_msg, "poisoned batch");
+  EXPECT_FALSE(s.degraded());  // circuit disabled by default
+}
+
+TYPED_TEST(AnySchedulerTest, CircuitTripsHalfOpensRecoversAndReTrips) {
+  // The full circuit-breaker lifecycle (ISSUE 5 regression: `degraded_` was
+  // one-way): trip after 2 consecutive failures, probation of 3 consecutive
+  // successes — reset by an intervening failure — then recovery, then a
+  // re-trip. Failing sequences share a key so their order (and therefore
+  // the consecutive-failure count) is deterministic.
+  SchedulerOptions cfg;
+  cfg.workers = 4;
+  cfg.circuit_failure_threshold = 2;
+  cfg.circuit_recovery_threshold = 3;
+  TypeParam s(cfg, [](const smr::Batch& b) {
+    const std::uint64_t seq = b.sequence();
+    if (seq == 1 || seq == 2 || seq == 5 || seq == 13 || seq == 14) {
+      throw std::runtime_error("scripted failure");
+    }
+  });
+  s.start();
+  s.deliver(make_batch(1, {5}));
+  s.deliver(make_batch(2, {5}));
+  s.wait_idle();
+  EXPECT_TRUE(s.degraded());  // tripped
+  {
+    const auto st = s.stats();
+    EXPECT_EQ(st.counter("scheduler.circuit.trips"), 1u);
+    EXPECT_EQ(st.gauge("scheduler.degraded"), 1.0);
+  }
+  // Two successes: probation (3 needed) not yet complete.
+  s.deliver(make_batch(3, {100}));
+  s.deliver(make_batch(4, {101}));
+  s.wait_idle();
+  EXPECT_TRUE(s.degraded());
+  // A failure during probation resets the consecutive-success count.
+  s.deliver(make_batch(5, {102}));
+  s.wait_idle();
+  EXPECT_TRUE(s.degraded());
+  // Three consecutive successes close the circuit (half-open -> closed).
+  s.deliver(make_batch(6, {103}));
+  s.deliver(make_batch(7, {104}));
+  s.deliver(make_batch(8, {105}));
+  s.wait_idle();
+  EXPECT_FALSE(s.degraded());
+  {
+    const auto st = s.stats();
+    EXPECT_EQ(st.counter("scheduler.circuit.recoveries"), 1u);
+    EXPECT_EQ(st.gauge("scheduler.degraded"), 0.0);
+  }
+  // Fresh consecutive failures re-trip it.
+  s.deliver(make_batch(13, {200}));
+  s.deliver(make_batch(14, {200}));
+  s.wait_idle();
+  EXPECT_TRUE(s.degraded());
+  const auto st = s.stats();
+  EXPECT_EQ(st.counter("scheduler.circuit.trips"), 2u);
+  EXPECT_EQ(st.gauge("scheduler.degraded"), 1.0);
+  EXPECT_EQ(st.counter("scheduler.batches_failed"), 5u);
+  EXPECT_EQ(st.counter("scheduler.batches_executed"), 5u);
+  s.stop();
+}
+
 TEST(PipelinedVsMonitor, IdenticalPerKeyOrders) {
   // Cross-implementation determinism: same delivery sequence, same conflict
   // mode => bit-identical per-key write orders.

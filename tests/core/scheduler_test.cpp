@@ -512,6 +512,50 @@ TEST(Scheduler, CircuitBreakerDegradesToSequentialMode) {
   EXPECT_EQ(max_concurrent.load(), 1);
 }
 
+TEST(Scheduler, CircuitRecoveryRestoresParallelism) {
+  // ISSUE 5 regression: `degraded_` used to be one-way — once tripped the
+  // scheduler stayed single-flight forever. With a recovery threshold the
+  // circuit half-opens, and after recovery a wave of independent batches
+  // must fan out across workers again (and the recovery wake must release
+  // ALL sleeping workers, not just one).
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  SchedulerOptions cfg;
+  cfg.workers = 4;
+  cfg.circuit_failure_threshold = 2;
+  cfg.circuit_recovery_threshold = 2;
+  Scheduler s(cfg, [&](const smr::Batch& b) {
+    if (b.sequence() <= 2) throw std::runtime_error("early failure");
+    const int cur = concurrent.fetch_add(1) + 1;
+    int seen = max_concurrent.load();
+    while (cur > seen && !max_concurrent.compare_exchange_weak(seen, cur)) {
+    }
+    std::this_thread::sleep_for(2ms);
+    concurrent.fetch_sub(1);
+  });
+  s.start();
+  s.deliver(make_batch(1, {5}));
+  s.deliver(make_batch(2, {5}));
+  s.wait_idle();
+  EXPECT_TRUE(s.degraded());
+  // Two probation successes close the circuit again.
+  s.deliver(make_batch(3, {300}));
+  s.deliver(make_batch(4, {301}));
+  s.wait_idle();
+  EXPECT_FALSE(s.degraded());
+  max_concurrent.store(0);
+  // Post-recovery: independent batches parallelize like a fresh scheduler.
+  for (std::uint64_t i = 5; i <= 36; ++i) s.deliver(make_batch(i, {i * 100}));
+  s.wait_idle();
+  s.stop();
+  const auto st = s.stats();
+  EXPECT_EQ(st.counter("scheduler.circuit.trips"), 1u);
+  EXPECT_EQ(st.counter("scheduler.circuit.recoveries"), 1u);
+  EXPECT_EQ(st.gauge("scheduler.degraded"), 0.0);
+  EXPECT_GT(max_concurrent.load(), 1);
+  s.check_invariants();
+}
+
 TEST(Scheduler, StatsReportGraphAndConflicts) {
   // Hold the worker on the first batch so the remaining deliveries are
   // guaranteed to find a non-empty graph (otherwise a fast worker can drain

@@ -137,6 +137,26 @@ TEST(Snapshot, MergePrependsPrefix) {
   EXPECT_EQ(a.gauge("replica_b.y"), 3.0);
 }
 
+TEST(Snapshot, CounterSumAddsAcrossMergePrefixes) {
+  // counter_sum: totals one logical counter across merged per-component
+  // snapshots (e.g. shard.0.scheduler.x + shard.1.scheduler.x + the
+  // top-level scheduler.x).
+  Snapshot top;
+  top.set_counter("scheduler.batches_executed", 10);
+  Snapshot s0;
+  s0.set_counter("scheduler.batches_executed", 4);
+  s0.set_counter("scheduler.batches_failed", 1);
+  Snapshot s1;
+  s1.set_counter("scheduler.batches_executed", 6);
+  top.merge(s0, "shard.0.");
+  top.merge(s1, "shard.1.");
+  EXPECT_EQ(top.counter_sum("scheduler.batches_executed"), 20u);
+  EXPECT_EQ(top.counter_sum("scheduler.batches_failed"), 1u);
+  EXPECT_EQ(top.counter_sum("no.such.counter"), 0u);
+  // Any trailing fragment works as a suffix, not just full metric names.
+  EXPECT_EQ(top.counter_sum("batches_executed"), 20u);
+}
+
 TEST(Snapshot, ToJsonCarriesSchemaAndEveryMetricKind) {
   MetricsRegistry reg;
   reg.counter("scheduler.batches_executed").add(42);

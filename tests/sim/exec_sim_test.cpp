@@ -120,5 +120,47 @@ TEST(ExecSim, PureCppRegimeIsFasterThanCalibrated) {
   EXPECT_GT(run_exec_sim(pure).kcmds_per_sec, run_exec_sim(calibrated).kcmds_per_sec);
 }
 
+TEST(ExecSim, ShardedMonitorScalesPartitionFriendlyKeyMode) {
+  // Key-mode at large batches is monitor-bound (see
+  // MonitorUtilizationReflectsBottleneck); sharding the scheduler splits
+  // that bottleneck, so a partition-friendly workload gains throughput
+  // with shard count.
+  auto cfg = base(200, core::ConflictMode::kKeysNested, 2);
+  auto sharded = cfg;
+  sharded.shards = 4;
+  const auto s1 = run_exec_sim(cfg);
+  const auto s4 = run_exec_sim(sharded);
+  EXPECT_GT(s4.kcmds_per_sec, s1.kcmds_per_sec * 1.5);
+  EXPECT_LT(s4.monitor_utilization, s1.monitor_utilization);
+}
+
+TEST(ExecSim, CrossShardBatchesErodeShardingGains) {
+  // Cross-shard batches pay the barrier (their insert charge lands on every
+  // shard's monitor), so throughput degrades monotonically with the
+  // cross-shard fraction.
+  auto cfg = base(200, core::ConflictMode::kKeysNested, 2);
+  cfg.shards = 4;
+  auto crossy = cfg;
+  crossy.cross_shard_fraction = 0.3;
+  const auto clean = run_exec_sim(cfg);
+  const auto crossed = run_exec_sim(crossy);
+  EXPECT_LT(crossed.kcmds_per_sec, clean.kcmds_per_sec);
+}
+
+TEST(ExecSim, SingleShardConfigMatchesOriginalModel) {
+  // shards=1 must be the pre-sharding simulator: same event structure and
+  // the same throughput up to clock-measurement noise (the simulator times
+  // REAL graph inserts, so two runs are never bit-identical).
+  auto cfg = base(100, core::ConflictMode::kBitmap, 4);
+  auto explicit_one = cfg;
+  explicit_one.shards = 1;
+  explicit_one.cross_shard_fraction = 0.25;  // ignored at S=1
+  const auto a = run_exec_sim(cfg);
+  const auto b = run_exec_sim(explicit_one);
+  EXPECT_EQ(a.commands, b.commands);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_NEAR(a.kcmds_per_sec / b.kcmds_per_sec, 1.0, 0.25);
+}
+
 }  // namespace
 }  // namespace psmr::sim

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Fails when generated build trees are tracked by git (ISSUE 5).
+
+Usage: check_no_build_artifacts.py [REPO_ROOT]
+
+Runs `git ls-files -- 'build*'` at REPO_ROOT (default: this script's
+repository) and exits 1 if any tracked path lives under a `build*/`
+directory — the regression that once committed ~17k lines of CMake caches,
+object files and LastTest.log. Exits 0 with a note when git (or the .git
+directory) is unavailable, so source tarballs still pass. Stdlib only.
+"""
+
+import os
+import subprocess
+import sys
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, ".git")):
+        print(f"{root} is not a git checkout; nothing to check")
+        return 0
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "ls-files", "--", "build*"],
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError) as e:
+        print(f"git unavailable ({e}); nothing to check")
+        return 0
+    tracked = [line for line in out.stdout.splitlines() if line.strip()]
+    if tracked:
+        print(f"{len(tracked)} tracked path(s) under build*/ — "
+              "generated build trees must never be committed:", file=sys.stderr)
+        for path in tracked[:20]:
+            print(f"  {path}", file=sys.stderr)
+        if len(tracked) > 20:
+            print(f"  ... and {len(tracked) - 20} more", file=sys.stderr)
+        return 1
+    print("no tracked build*/ paths")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
