@@ -20,6 +20,7 @@
 #include "core/sharded_scheduler.hpp"
 #include "kvstore/kvstore.hpp"
 #include "obs/metrics.hpp"
+#include "smr/checkpoint.hpp"
 #include "smr/codec.hpp"
 #include "util/bitmap.hpp"
 #include "util/mpmc_queue.hpp"
@@ -473,6 +474,172 @@ void write_sharded_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metrics) 
   }
 }
 
+struct CheckpointMeasurement {
+  double delivery_kcmds_per_sec = 0.0;
+  double avg_pause_us = 0.0;  // delivery-thread stall per checkpoint
+  std::uint64_t checkpoints = 0;
+  psmr::obs::Snapshot final_metrics;
+};
+
+/// Steady-state cost of the checkpoint cadence (DESIGN.md §12): delivers
+/// `n_batches` through the real threaded Scheduler with a KvStore-applying
+/// executor while a CheckpointManager arms the quiesce barrier every
+/// `interval` sequences. The timed window is the whole delivery loop, so the
+/// throughput row absorbs every barrier stall; the pause column isolates the
+/// per-checkpoint cost (drain + capture + release, measured around the
+/// barrier hooks on the delivery thread). interval=0 is the no-checkpoint
+/// baseline. Keys mix a hot set with unique tails so the drained graph holds
+/// real dependencies, not just queue depth.
+CheckpointMeasurement measure_checkpoint_throughput(std::uint64_t interval,
+                                                    unsigned workers,
+                                                    std::size_t batch_size,
+                                                    std::size_t n_batches) {
+  auto registry = std::make_shared<psmr::obs::MetricsRegistry>();
+  psmr::kv::KvStore store;
+  psmr::core::Scheduler scheduler(
+      psmr::core::SchedulerOptions{.workers = workers,
+                                   .mode = ConflictMode::kKeysNested,
+                                   .metrics = registry},
+      [&store](const psmr::smr::Batch& b) {
+        for (const psmr::smr::Command& c : b.commands()) store.update(c.key, c.value);
+      });
+
+  std::uint64_t pause_ns = 0;  // delivery thread only: no synchronization
+  std::uint64_t pause_started = 0;
+  psmr::smr::CheckpointManager::Options copts;
+  copts.interval = interval;
+  copts.metrics = registry;
+  psmr::smr::CheckpointManager manager(
+      copts,
+      psmr::smr::CheckpointManager::Barrier{
+          [&](std::uint64_t seq) {
+            pause_started = static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count());
+            scheduler.drain_to_sequence(seq);
+          },
+          [&] {
+            scheduler.release_barrier();
+            pause_ns += static_cast<std::uint64_t>(
+                            std::chrono::steady_clock::now().time_since_epoch().count()) -
+                        pause_started;
+          }},
+      [&store] { return store.serialize(); }, nullptr);
+
+  std::vector<psmr::smr::BatchPtr> batches;
+  batches.reserve(n_batches);
+  for (std::size_t i = 0; i < n_batches; ++i) {
+    std::vector<psmr::smr::Command> cmds;
+    cmds.reserve(batch_size);
+    for (std::size_t j = 0; j < batch_size; ++j) {
+      psmr::smr::Command c;
+      c.type = psmr::smr::OpType::kUpdate;
+      // ~1/4 of the keys land in a 64-key hot set (real conflict edges for
+      // the barrier to drain); the rest are unique.
+      c.key = (i * batch_size + j) % 4 == 0
+                  ? (i + j) % 64
+                  : (1ull << 20) + i * batch_size + j;
+      c.value = i;
+      cmds.push_back(c);
+    }
+    auto b = std::make_shared<psmr::smr::Batch>(std::move(cmds));
+    b->set_sequence(i + 1);
+    batches.push_back(std::move(b));
+  }
+
+  scheduler.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_batches; ++i) {
+    scheduler.deliver(std::move(batches[i]));
+    manager.on_delivered(i + 1);
+  }
+  scheduler.wait_idle();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  scheduler.stop();
+
+  CheckpointMeasurement m;
+  m.delivery_kcmds_per_sec =
+      static_cast<double>(n_batches * batch_size) / secs / 1000.0;
+  m.checkpoints = manager.checkpoints_taken();
+  m.avg_pause_us = m.checkpoints != 0
+                       ? static_cast<double>(pause_ns) /
+                             static_cast<double>(m.checkpoints) / 1000.0
+                       : 0.0;
+  // Shared registry: scheduler.* AND checkpoint.* land in one snapshot (the
+  // checkpoint-metrics fixture validated by tools/check_metrics_json.py).
+  m.final_metrics = manager.stats();
+  return m;
+}
+
+/// The `--checkpoint-interval` sweep rows: interval=0 baseline first, then
+/// tightening cadences; each row carries its throughput ratio against the
+/// baseline and the isolated per-checkpoint pause.
+void write_checkpoint_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metrics) {
+  const std::size_t n = smoke ? 400 : 4000;
+  const std::size_t batch_size = 16;
+  const std::uint64_t intervals[] = {0, 200, 50, 10};
+  double baseline = 0.0;
+  bool first = true;
+  for (const std::uint64_t interval : intervals) {
+    const CheckpointMeasurement m =
+        measure_checkpoint_throughput(interval, /*workers=*/4, batch_size, n);
+    if (interval == 0) baseline = m.delivery_kcmds_per_sec;
+    const double ratio =
+        baseline > 0.0 ? m.delivery_kcmds_per_sec / baseline : 0.0;
+    std::fprintf(f,
+                 "%s    {\"mode\": \"keys-nested\", \"workers\": 4, "
+                 "\"batch_size\": %zu, \"batches\": %zu, "
+                 "\"checkpoint_interval\": %llu, \"checkpoints_taken\": %llu, "
+                 "\"delivery_kcmds_per_sec\": %.1f, "
+                 "\"throughput_vs_no_checkpoint\": %.3f, "
+                 "\"avg_barrier_pause_us\": %.1f}",
+                 first ? "" : ",\n", batch_size, n,
+                 static_cast<unsigned long long>(interval),
+                 static_cast<unsigned long long>(m.checkpoints),
+                 m.delivery_kcmds_per_sec, ratio, m.avg_pause_us);
+    first = false;
+    std::printf("checkpoint   interval=%-4llu (%3llu taken): %10.1f kCmds/s "
+                "delivery, %.3fx vs none, %8.1f us/pause\n",
+                static_cast<unsigned long long>(interval),
+                static_cast<unsigned long long>(m.checkpoints),
+                m.delivery_kcmds_per_sec, ratio, m.avg_pause_us);
+    if (interval != 0 && last_metrics != nullptr) *last_metrics = m.final_metrics;
+  }
+}
+
+/// `--checkpoints` mode: only the checkpoint-interval sweep, written to
+/// BENCH_scheduler_checkpoints.json (+ the psmr.metrics.v1 export carrying
+/// the `checkpoint.*` metrics for the schema fixture).
+int checkpoints_main(bool smoke, const char* metrics_path) {
+  FILE* f = std::fopen("BENCH_scheduler_checkpoints.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scheduler_checkpoints.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_checkpoints\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"checkpoint_sweep\": [\n");
+  psmr::obs::Snapshot last_metrics;
+  write_checkpoint_rows(f, smoke, &last_metrics);
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scheduler_checkpoints.json\n");
+
+  if (metrics_path != nullptr) {
+    FILE* mf = std::fopen(metrics_path, "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      return 1;
+    }
+    const std::string json = last_metrics.to_json();
+    std::fwrite(json.data(), 1, json.size(), mf);
+    std::fputc('\n', mf);
+    std::fclose(mf);
+    std::printf("wrote %s\n", metrics_path);
+  }
+  return 0;
+}
+
 /// `--shards` mode: only the shard-scaling rows, written to
 /// BENCH_scheduler_shards.json (+ the sharded run's psmr.metrics.v1 export
 /// for the schema fixture).
@@ -586,6 +753,8 @@ int json_main(bool smoke, const char* metrics_path) {
   }
   std::fprintf(f, "\n  ],\n  \"sharded_scheduler\": [\n");
   write_sharded_rows(f, smoke, nullptr);
+  std::fprintf(f, "\n  ],\n  \"checkpoint_sweep\": [\n");
+  write_checkpoint_rows(f, smoke, nullptr);
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler.json\n");
@@ -613,14 +782,22 @@ int json_main(bool smoke, const char* metrics_path) {
 int main(int argc, char** argv) {
   bool json = false;
   bool shards = false;
+  bool checkpoints = false;
   bool smoke = false;
   const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--shards") == 0) shards = true;
+    if (std::strcmp(argv[i], "--checkpoint-interval") == 0) checkpoints = true;
+    if (std::strcmp(argv[i], "--checkpoints") == 0) checkpoints = true;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--metrics-json") == 0) metrics_path = "METRICS_scheduler.json";
     if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) metrics_path = argv[i] + 15;
+  }
+  if (checkpoints) {
+    return checkpoints_main(smoke,
+                            metrics_path != nullptr ? metrics_path
+                                                    : "METRICS_checkpoint.json");
   }
   if (shards) {
     return shards_main(smoke,

@@ -64,6 +64,7 @@ void PaxosGroup::start() {
     auto* ep = network_->register_process(learner_id(i));
     learner_roles_.push_back(std::make_unique<Learner>(
         *network_, ep, proposer_ids, pending_subscribers_[i]));
+    learner_crashed_.push_back(false);
   }
 
   for (auto& a : acceptor_roles_) a->start();
@@ -125,6 +126,7 @@ std::size_t PaxosGroup::add_learner(DeliverFn fn, InstanceId from_instance) {
   learner_roles_.push_back(std::make_unique<Learner>(
       *network_, ep, proposer_ids, std::move(fn), std::chrono::milliseconds(100),
       from_instance));
+  learner_crashed_.push_back(false);
   learner_roles_.back()->start();
   return index;
 }
@@ -135,9 +137,15 @@ InstanceId PaxosGroup::learner_next_instance(std::size_t index) const {
 }
 
 void PaxosGroup::truncate_log_below(InstanceId horizon) {
-  // Never truncate past a live learner: it could still need the suffix.
-  for (const auto& learner : learner_roles_) {
-    horizon = std::min(horizon, learner->next_instance());
+  // Never truncate past a LIVE learner: it could still need the suffix.
+  // Crashed learners don't count — they rejoin via snapshot + suffix, never
+  // by resuming their old delivery position.
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t i = 0; i < learner_roles_.size(); ++i) {
+      if (learner_crashed_[i]) continue;
+      horizon = std::min(horizon, learner_roles_[i]->next_instance());
+    }
   }
   for (const auto& proposer : proposer_roles_) {
     proposer->truncate_decided_below(horizon);
@@ -163,6 +171,16 @@ void PaxosGroup::crash_acceptor(unsigned index) {
   PSMR_CHECK(index < acceptor_roles_.size());
   network_->isolate(acceptor_id(index), true);
   acceptor_roles_[index]->stop();
+}
+
+void PaxosGroup::crash_learner(std::size_t index) {
+  {
+    std::lock_guard lk(mu_);
+    PSMR_CHECK(index < learner_roles_.size());
+    learner_crashed_[index] = true;
+  }
+  network_->isolate(learner_id(static_cast<unsigned>(index)), true);
+  learner_roles_[index]->stop();
 }
 
 void PaxosGroup::crash_proposer(unsigned index) {

@@ -114,6 +114,12 @@ class PaxosGroup final : public AtomicBroadcast {
   void crash_acceptor(unsigned index);
   /// Crashes a proposer; if it was the leader, a standby takes over.
   void crash_proposer(unsigned index);
+  /// Crashes a learner: isolates its process and stops its delivery stream.
+  /// Truncation stops counting it (a crashed replica must not pin the log;
+  /// it recovers later via snapshot + suffix, not by replaying from its old
+  /// position). The index stays occupied — a restarted replica rejoins as a
+  /// NEW learner via add_learner.
+  void crash_learner(std::size_t index);
   /// Network access for custom fault plans.
   PaxosNetwork& network() { return *network_; }
 
@@ -124,6 +130,9 @@ class PaxosGroup final : public AtomicBroadcast {
   net::ProcessId acceptor_process(unsigned i) const { return acceptor_id(i); }
   net::ProcessId learner_process(unsigned i) const { return learner_id(i); }
   net::ProcessId client_process() const { return kClientId; }
+  /// Id space reserved for state-transfer endpoints (checkpoint servers and
+  /// rejoin clients register these themselves through network()).
+  net::ProcessId state_process(unsigned i) const { return 400 + i; }
 
   /// Every process id currently registered by this group (client, proposers,
   /// acceptors, learners added so far).
@@ -159,6 +168,7 @@ class PaxosGroup final : public AtomicBroadcast {
   std::vector<std::unique_ptr<Acceptor>> acceptor_roles_;
   std::vector<std::unique_ptr<Proposer>> proposer_roles_;
   std::vector<std::unique_ptr<Learner>> learner_roles_;
+  std::vector<bool> learner_crashed_;  // guarded by mu_
   std::vector<DeliverFn> pending_subscribers_;
 
   mutable std::mutex mu_;

@@ -102,8 +102,26 @@ struct Heartbeat {
   Ballot ballot;
 };
 
+/// State-transfer request (DESIGN.md §12 rejoin protocol): a recovering
+/// replica asks a checkpoint server for its latest checkpoint.
+struct CheckpointRequest {
+  std::uint64_t request_id = 0;
+};
+
+/// State-transfer response. `record` is an encoded checkpoint frame
+/// (smr::encode_checkpoint / decode_checkpoint), or null when the server
+/// holds no checkpoint yet; `resume_from` is the first instance the
+/// requester must replay after installing the record (== the record's
+/// log_horizon; 1 when record is null — full replay).
+struct CheckpointResponse {
+  std::uint64_t request_id = 0;
+  InstanceId resume_from = 1;
+  Value record;
+};
+
 using Message = std::variant<ClientRequest, Prepare, Promise, Accept, Accepted, Nack,
-                             Decide, LearnRequest, Heartbeat>;
+                             Decide, LearnRequest, Heartbeat, CheckpointRequest,
+                             CheckpointResponse>;
 
 using PaxosNetwork = net::Network<Message>;
 using PaxosEndpoint = net::Endpoint<Message>;

@@ -1,6 +1,7 @@
 #include "core/dependency_graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -234,8 +235,13 @@ void DependencyGraph::insert(Prepared&& probe) {
 }
 
 DependencyGraph::Node* DependencyGraph::take_oldest_free() {
+  return take_oldest_free_leq(std::numeric_limits<std::uint64_t>::max());
+}
+
+DependencyGraph::Node* DependencyGraph::take_oldest_free_leq(std::uint64_t max_seq) {
   if (ready_.empty()) return nullptr;
   auto it = ready_.begin();  // smallest seq = oldest (line 35)
+  if (it->first > max_seq) return nullptr;  // held behind the quiesce barrier
   Node* node = it->second;
   ready_.erase(it);
   PSMR_DCHECK(!node->taken && node->pending_bdeps == 0);
@@ -243,6 +249,20 @@ DependencyGraph::Node* DependencyGraph::take_oldest_free() {
   ++num_taken_;
   if (tracer_ != nullptr) tracer_->record(node->seq, obs::Stage::kTaken);
   return node;
+}
+
+std::uint64_t DependencyGraph::min_free_seq() const noexcept {
+  return ready_.empty() ? std::numeric_limits<std::uint64_t>::max()
+                        : ready_.begin()->first;
+}
+
+std::size_t DependencyGraph::resident_leq(std::uint64_t seq) const noexcept {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.seq > seq) break;  // <B order: everything after is newer too
+    ++n;
+  }
+  return n;
 }
 
 std::size_t DependencyGraph::remove(Node* node) {

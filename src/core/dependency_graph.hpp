@@ -118,6 +118,23 @@ class DependencyGraph {
   /// notTaken) node, marking it taken; nullptr when no batch is free.
   Node* take_oldest_free();
 
+  /// Checkpoint-barrier variant of take_oldest_free: only considers free
+  /// nodes with delivery sequence <= max_seq, so a quiesce barrier can let
+  /// the prefix drain while holding back everything newer. Because the
+  /// ready set is ordered by sequence, this is the same O(log n) pop with
+  /// one extra comparison. take_oldest_free() == take_oldest_free_leq(max).
+  Node* take_oldest_free_leq(std::uint64_t max_seq);
+
+  /// Delivery sequence of the oldest free node, or UINT64_MAX when nothing
+  /// is free — lets a barrier-gated scheduler test takeability in a wait
+  /// predicate without popping.
+  std::uint64_t min_free_seq() const noexcept;
+
+  /// Number of resident nodes (free, blocked, or taken) with delivery
+  /// sequence <= seq. nodes_ is kept in <B order, so the walk stops at the
+  /// first newer node — O(answer). The quiesce barrier polls this for 0.
+  std::size_t resident_leq(std::uint64_t seq) const noexcept;
+
   /// dgRemoveBatch (lines 38–42): removes a previously taken node, erasing
   /// its outgoing edges; newly freed successors become available to
   /// take_oldest_free. Returns how many successors became free (the

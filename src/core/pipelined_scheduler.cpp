@@ -1,5 +1,7 @@
 #include "core/pipelined_scheduler.hpp"
 
+#include <limits>
+
 #include "util/assert.hpp"
 #include "util/time.hpp"
 
@@ -77,12 +79,44 @@ void PipelinedScheduler::wait_idle() {
   idle_cv_.wait(lk, [&] { return outstanding_.load(std::memory_order_relaxed) == 0; });
 }
 
+void PipelinedScheduler::begin_barrier(std::uint64_t seq) {
+  PSMR_CHECK(!barrier_public_.exchange(true));  // one barrier at a time
+  {
+    std::lock_guard lk(barrier_mu_);
+    barrier_quiesced_ = false;
+  }
+  metrics_->counter("scheduler.barriers").add(1);
+  events_.push(Event{BarrierArm{seq}});
+}
+
+void PipelinedScheduler::await_barrier() {
+  PSMR_CHECK(barrier_public_.load(std::memory_order_relaxed));
+  std::unique_lock lk(barrier_mu_);
+  barrier_cv_.wait(lk, [&] {
+    return barrier_quiesced_ || stopping_.load(std::memory_order_relaxed);
+  });
+}
+
+void PipelinedScheduler::release_barrier() {
+  if (!barrier_public_.exchange(false)) return;  // idempotent
+  events_.push(Event{BarrierRelease{}});
+}
+
+void PipelinedScheduler::drain_to_sequence(std::uint64_t seq) {
+  begin_barrier(seq);
+  await_barrier();
+}
+
 void PipelinedScheduler::stop() {
   if (!started_) return;
   if (!stopping_.load(std::memory_order_relaxed)) {
     wait_idle();  // drain everything already delivered
     stopping_.store(true, std::memory_order_relaxed);
     idle_cv_.notify_all();
+    {
+      std::lock_guard lk(barrier_mu_);
+    }
+    barrier_cv_.notify_all();  // release an await_barrier() raced by stop
   }
   events_.close();
   ready_.close();
@@ -134,11 +168,27 @@ void PipelinedScheduler::scheduler_loop() {
   // degraded mode every free node is dispatched.
   auto dispatch_free = [&] {
     while (!(degraded_ && inflight_ > 0)) {
-      DependencyGraph::Node* node = graph_.take_oldest_free();
+      // An armed barrier caps dispatch at the barrier sequence; everything
+      // newer stays parked in the graph until BarrierRelease.
+      DependencyGraph::Node* node = graph_.take_oldest_free_leq(
+          barrier_armed_ ? barrier_seq_
+                         : std::numeric_limits<std::uint64_t>::max());
       if (node == nullptr) break;
       ++inflight_;
       ready_.push(node);
     }
+  };
+  // Quiescence check, run after every event that can shrink the <= barrier
+  // prefix: signals the await_barrier() caller once nothing at or below the
+  // barrier sequence is resident (dispatched-but-unfinished nodes are still
+  // resident — their Completion has not come back).
+  auto maybe_signal_barrier = [&] {
+    if (!barrier_armed_ || graph_.resident_leq(barrier_seq_) != 0) return;
+    {
+      std::lock_guard lk(barrier_mu_);
+      barrier_quiesced_ = true;
+    }
+    barrier_cv_.notify_all();
   };
   // Circuit accounting runs on this thread only (completions arrive through
   // the event queue), so the counters need no lock — the same consecutive-
@@ -171,11 +221,19 @@ void PipelinedScheduler::scheduler_loop() {
     if (auto* delivery = std::get_if<Delivery>(&*event)) {
       graph_.insert(std::move(delivery->probe));
       dispatch_free();
+    } else if (auto* arm = std::get_if<BarrierArm>(&*event)) {
+      barrier_armed_ = true;
+      barrier_seq_ = arm->seq;
+      maybe_signal_barrier();  // the prefix may already be drained
+    } else if (std::get_if<BarrierRelease>(&*event) != nullptr) {
+      barrier_armed_ = false;
+      dispatch_free();  // everything the barrier held back
     } else {
       auto& completion = std::get<Completion>(*event);
       graph_.remove(completion.node);
       account(completion.failed);
       dispatch_free();
+      maybe_signal_barrier();
       stats_lk.unlock();
       const bool reached_idle =
           outstanding_.fetch_sub(1, std::memory_order_relaxed) == 1;

@@ -67,6 +67,16 @@ class PipelinedScheduler {
   void wait_idle();
   void stop();
 
+  /// Checkpoint barrier — same contract as Scheduler::begin_barrier et al.
+  /// (DESIGN.md §12), realized through the event queue: the graph-owner
+  /// thread stops dispatching free nodes newer than `seq` and reports
+  /// quiescence once the <= seq prefix has fully completed and been
+  /// removed. deliver() keeps accepting while the barrier is armed.
+  void begin_barrier(std::uint64_t seq);
+  void await_barrier();
+  void release_barrier();
+  void drain_to_sequence(std::uint64_t seq);
+
   /// Optional hook observing failed batches. Set before start().
   void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
 
@@ -106,7 +116,13 @@ class PipelinedScheduler {
     DependencyGraph::Node* node;
     bool failed;  // executor threw — feeds the circuit breaker
   };
-  using Event = std::variant<Delivery, Completion>;
+  // Barrier control flows through the same queue as everything else, so it
+  // is ordered against deliveries without any extra locking on the graph.
+  struct BarrierArm {
+    std::uint64_t seq;
+  };
+  struct BarrierRelease {};
+  using Event = std::variant<Delivery, Completion, BarrierArm, BarrierRelease>;
 
   void scheduler_loop();
   void worker_loop(unsigned worker_index);
@@ -142,6 +158,16 @@ class PipelinedScheduler {
   unsigned consecutive_successes_ = 0;
   bool degraded_ = false;
   std::atomic<bool> degraded_public_{false};  // mirror for the accessor
+
+  // Barrier state owned by the scheduler thread...
+  bool barrier_armed_ = false;
+  std::uint64_t barrier_seq_ = 0;
+  // ...and the caller-facing rendezvous: quiesced_ flips under barrier_mu_
+  // when the scheduler thread observes the prefix drained.
+  std::atomic<bool> barrier_public_{false};  // a barrier is armed (caller side)
+  mutable std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  bool barrier_quiesced_ = false;
 
   std::atomic<std::uint64_t> outstanding_{0};  // delivered - removed
   std::atomic<bool> stopping_{false};

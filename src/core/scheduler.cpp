@@ -96,10 +96,45 @@ void Scheduler::stop() {
   }
   batch_ready_.notify_all();
   space_free_.notify_all();
+  barrier_cv_.notify_all();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
   workers_.clear();
+}
+
+void Scheduler::begin_barrier(std::uint64_t seq) {
+  std::lock_guard lk(mu_);
+  PSMR_CHECK(!barrier_armed_);  // one barrier at a time
+  barrier_armed_ = true;
+  barrier_seq_ = seq;
+  metrics_->counter("scheduler.barriers").add(1);
+}
+
+void Scheduler::await_barrier() {
+  std::unique_lock lk(mu_);
+  PSMR_CHECK(barrier_armed_);
+  // Workers notify barrier_cv_ on every remove while the barrier is armed;
+  // quiescence = no batch <= the barrier sequence left in the graph (free,
+  // blocked, or under execution).
+  barrier_cv_.wait(lk, [&] {
+    return stopping_ || graph_.resident_leq(barrier_seq_) == 0;
+  });
+}
+
+void Scheduler::release_barrier() {
+  {
+    std::lock_guard lk(mu_);
+    if (!barrier_armed_) return;
+    barrier_armed_ = false;
+  }
+  // Every batch the barrier held back may now be takeable.
+  batch_ready_.notify_all();
+}
+
+void Scheduler::drain_to_sequence(std::uint64_t seq) {
+  begin_barrier(seq);
+  await_barrier();
 }
 
 bool Scheduler::degraded() const {
@@ -158,7 +193,8 @@ void Scheduler::worker_loop(unsigned worker_index) {
   std::unique_lock lk(mu_);
   for (;;) {
     DependencyGraph::Node* node =
-        can_take_locked() ? graph_.take_oldest_free() : nullptr;
+        can_take_locked() ? graph_.take_oldest_free_leq(take_limit_locked())
+                          : nullptr;
     if (node == nullptr) {
       if (stopping_ && graph_.empty()) return;
       if (stopping_ && graph_.num_free() == 0 && graph_.size() > 0) {
@@ -166,7 +202,14 @@ void Scheduler::worker_loop(unsigned worker_index) {
         // executed by peers; wait for them to finish.
       }
       batch_ready_.wait(lk, [&] {
-        return (graph_.num_free() > 0 && can_take_locked()) ||
+        // A free batch beyond an armed barrier is NOT takeable — workers
+        // park here until release_barrier() re-opens the gate. The
+        // num_free() guard matters: with nothing free AND no barrier,
+        // min_free_seq() and take_limit_locked() are both the max sentinel
+        // and the comparison alone would be vacuously true.
+        return (graph_.num_free() > 0 &&
+                graph_.min_free_seq() <= take_limit_locked() &&
+                can_take_locked()) ||
                (stopping_ && graph_.empty());
       });
       continue;
@@ -245,12 +288,17 @@ void Scheduler::worker_loop(unsigned worker_index) {
     const bool wake_one_ready =
         !wake_all_ready && (freed >= 1 || (degraded_ && graph_.num_free() > 0));
     const bool wake_space = config_.max_pending_batches != 0;
+    // Barrier progress: every remove while armed may be the one that
+    // empties the <= barrier_seq_ prefix (checkpoints are rare, so the
+    // extra notify costs nothing on the steady-state path).
+    const bool wake_barrier = barrier_armed_;
     const bool now_empty = graph_.empty();
     const bool exit_now = now_empty && stopping_;
     lk.unlock();
     if (wake_all_ready) batch_ready_.notify_all();
     if (wake_one_ready) batch_ready_.notify_one();
     if (wake_space) space_free_.notify_one();
+    if (wake_barrier) barrier_cv_.notify_all();
     if (now_empty) {
       idle_.notify_all();
       if (exit_now) {

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -66,6 +67,28 @@ class Scheduler {
   /// Drains outstanding work, then joins the workers. Idempotent.
   void stop();
 
+  /// Checkpoint barrier (DESIGN.md §12). Arms a quiesce barrier at `seq`:
+  /// workers keep executing batches with delivery sequence <= seq but stop
+  /// starting anything newer; deliver() keeps accepting throughout. At most
+  /// one barrier may be armed at a time. Batches <= seq delivered AFTER
+  /// arming are not covered — arm from the delivery thread (or with the
+  /// prefix fully delivered) for a meaningful quiesce point.
+  void begin_barrier(std::uint64_t seq);
+
+  /// Blocks until every resident batch with sequence <= the armed barrier
+  /// sequence has executed and left the graph. On return the visible state
+  /// is exactly the delivered prefix <= seq — the deterministic snapshot
+  /// point. Requires an armed barrier.
+  void await_barrier();
+
+  /// Disarms the barrier and releases the held-back batches. Idempotent.
+  /// Must run before wait_idle()/stop(), which would otherwise wait forever
+  /// on work the barrier is holding back.
+  void release_barrier();
+
+  /// begin_barrier(seq) + await_barrier() in one call.
+  void drain_to_sequence(std::uint64_t seq);
+
   /// Optional hook observing failed batches (e.g. to emit error responses
   /// when the executor itself cannot). Set before start().
   void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
@@ -108,6 +131,13 @@ class Scheduler {
     return !degraded_ || graph_.num_taken() == 0;
   }
 
+  /// Highest delivery sequence workers may start right now; unbounded when
+  /// no barrier is armed. Requires mu_ held.
+  std::uint64_t take_limit_locked() const {
+    return barrier_armed_ ? barrier_seq_
+                          : std::numeric_limits<std::uint64_t>::max();
+  }
+
   SchedulerOptions config_;
   Executor executor_;
   FailureFn on_failure_;
@@ -127,9 +157,12 @@ class Scheduler {
   std::condition_variable batch_ready_;  // workers wait here
   std::condition_variable space_free_;   // deliver() backpressure
   std::condition_variable idle_;         // wait_idle()
+  std::condition_variable barrier_cv_;   // await_barrier()
   DependencyGraph graph_;
   bool stopping_ = false;
   bool started_ = false;
+  bool barrier_armed_ = false;
+  std::uint64_t barrier_seq_ = 0;
   unsigned consecutive_failures_ = 0;
   unsigned consecutive_successes_ = 0;  // probation progress while degraded
   bool degraded_ = false;

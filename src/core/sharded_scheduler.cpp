@@ -183,6 +183,20 @@ void ShardedScheduler::rendezvous(std::size_t shard_index, Gate& gate,
   if (err) std::rethrow_exception(err);
 }
 
+void ShardedScheduler::drain_to_sequence(std::uint64_t seq) {
+  // Arm ALL shards before waiting on ANY: once armed, no shard starts a
+  // batch newer than `seq`, so no worker can park in a rendezvous gate that
+  // needs a still-draining shard. Batches <= seq (including cross-shard
+  // ones) remain takeable everywhere and drain normally.
+  for (auto& shard : shards_) shard->begin_barrier(seq);
+  for (auto& shard : shards_) shard->await_barrier();
+  metrics_->counter("scheduler.barriers").add(1);
+}
+
+void ShardedScheduler::release_barrier() {
+  for (auto& shard : shards_) shard->release_barrier();
+}
+
 void ShardedScheduler::wait_idle() {
   // Delivery has stopped mutating shard s once the caller is in here, and
   // a cross-shard batch stays resident in EVERY touched shard until its

@@ -80,6 +80,19 @@ class ShardedScheduler {
   /// Drains outstanding work, then stops every shard engine. Idempotent.
   void stop();
 
+  /// Checkpoint barrier across every shard (DESIGN.md §12). Arms a barrier
+  /// at `seq` on EVERY shard engine first, then waits for each to drain its
+  /// <= seq prefix. Must be called from the delivery thread (the same
+  /// serialization deliver() already requires) so no batch newer than `seq`
+  /// can slip into a not-yet-armed shard and park a worker in a rendezvous
+  /// gate the barrier would never resolve. Cross-shard batches <= seq still
+  /// rendezvous normally — every touched shard lets them through — so the
+  /// drain is deadlock-free by the same delivery-order induction as §11.
+  void drain_to_sequence(std::uint64_t seq);
+
+  /// Releases every shard's barrier. Idempotent.
+  void release_barrier();
+
   /// Forwarded to every shard engine; a failed batch fires it exactly once
   /// (from the shard that ran — or led — it). Set before start().
   void set_on_failure(FailureFn fn);

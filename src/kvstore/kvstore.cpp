@@ -97,7 +97,9 @@ std::vector<std::uint8_t> KvStore::serialize() const {
 }
 
 bool KvStore::deserialize(const std::vector<std::uint8_t>& bytes) {
-  clear();
+  // Validate the whole frame into a staging buffer before touching any
+  // shard: a truncated or corrupted stream must leave existing state
+  // intact, or a failed checkpoint install would wipe a live replica.
   std::size_t off = 0;
   auto get = [&](void* p, std::size_t n) {
     if (off + n > bytes.size()) return false;
@@ -108,19 +110,24 @@ bool KvStore::deserialize(const std::vector<std::uint8_t>& bytes) {
   std::uint64_t magic = 0, count = 0;
   if (!get(&magic, sizeof(magic)) || magic != 0x50534d524b560001ull) return false;
   if (!get(&count, sizeof(count))) return false;
-  if (count > (bytes.size() - off) / 16) return false;  // truncated
+  if (count != (bytes.size() - off) / 16) return false;  // truncated / padded
+  std::vector<std::pair<smr::Key, smr::Value>> staged;
+  staged.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     smr::Key k = 0;
     smr::Value v = 0;
-    if (!get(&k, sizeof(k)) || !get(&v, sizeof(v))) {
-      clear();
-      return false;
-    }
-    update(k, v);
+    if (!get(&k, sizeof(k)) || !get(&v, sizeof(v))) return false;
+    // serialize() emits strictly ascending keys; anything else is a
+    // corrupted (or duplicated-entry) frame.
+    if (!staged.empty() && k <= staged.back().first) return false;
+    staged.emplace_back(k, v);
   }
-  if (off != bytes.size()) {
-    clear();
-    return false;
+  if (off != bytes.size()) return false;  // trailing garbage
+  clear();
+  for (const auto& [k, v] : staged) {
+    Shard& s = shard_for(k);
+    std::lock_guard lk(s.mu);
+    s.map.emplace(k, v);
   }
   return true;
 }

@@ -50,7 +50,9 @@ class KvStore {
   std::vector<std::uint8_t> serialize() const;
 
   /// Replaces the entire state with a snapshot produced by serialize().
-  /// Returns false (leaving the store empty) on malformed input.
+  /// The frame is fully validated (magic, entry count, strictly ascending
+  /// keys, no trailing bytes) BEFORE any mutation: on malformed input this
+  /// returns false and the existing state is untouched.
   bool deserialize(const std::vector<std::uint8_t>& bytes);
 
   void clear();

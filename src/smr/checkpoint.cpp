@@ -1,0 +1,209 @@
+#include "smr/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "util/time.hpp"
+
+namespace psmr::smr {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50534d52434b5054ull;  // "PSMRCKPT"
+constexpr std::uint32_t kVersion = 1;
+/// Section size sanity bound: a truncated-length field must not turn into a
+/// multi-gigabyte allocation before the checksum gets a chance to reject.
+constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 32;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const std::size_t n = out.size();
+  out.resize(n + sizeof(T));
+  std::memcpy(out.data() + n, &v, sizeof(T));
+}
+
+template <typename T>
+bool get(std::span<const std::uint8_t>& in, T& v) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&v, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+std::uint64_t hash_bytes(std::uint64_t h, const std::vector<std::uint8_t>& bytes) {
+  const std::string_view view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  return util::hash_combine(h, util::fnv1a(view));
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_checksum(const CheckpointRecord& record) {
+  std::uint64_t h = util::mix64(record.sequence);
+  h = util::hash_combine(h, util::mix64(record.log_horizon));
+  h = util::hash_combine(h, util::mix64(record.state.size()));
+  h = hash_bytes(h, record.state);
+  h = util::hash_combine(h, util::mix64(record.sessions.size()));
+  h = hash_bytes(h, record.sessions);
+  return h;
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 4 + 8 + 8 + 16 + record.state.size() + record.sessions.size() + 8);
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, record.sequence);
+  put(out, record.log_horizon);
+  put(out, static_cast<std::uint64_t>(record.state.size()));
+  out.insert(out.end(), record.state.begin(), record.state.end());
+  put(out, static_cast<std::uint64_t>(record.sessions.size()));
+  out.insert(out.end(), record.sessions.begin(), record.sessions.end());
+  put(out, checkpoint_checksum(record));
+  return out;
+}
+
+std::optional<CheckpointRecord> decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  CheckpointRecord record;
+  if (!get(bytes, magic) || magic != kMagic) return std::nullopt;
+  if (!get(bytes, version) || version != kVersion) return std::nullopt;
+  if (!get(bytes, record.sequence)) return std::nullopt;
+  if (!get(bytes, record.log_horizon)) return std::nullopt;
+  std::uint64_t len = 0;
+  if (!get(bytes, len) || len > kMaxSectionBytes || len > bytes.size()) {
+    return std::nullopt;
+  }
+  record.state.assign(bytes.begin(), bytes.begin() + static_cast<std::size_t>(len));
+  bytes = bytes.subspan(static_cast<std::size_t>(len));
+  if (!get(bytes, len) || len > kMaxSectionBytes || len > bytes.size()) {
+    return std::nullopt;
+  }
+  record.sessions.assign(bytes.begin(), bytes.begin() + static_cast<std::size_t>(len));
+  bytes = bytes.subspan(static_cast<std::size_t>(len));
+  std::uint64_t checksum = 0;
+  if (!get(bytes, checksum)) return std::nullopt;
+  if (!bytes.empty()) return std::nullopt;  // trailing garbage
+  if (checksum != checkpoint_checksum(record)) return std::nullopt;
+  return record;
+}
+
+CheckpointManager::CheckpointManager(Options options, Barrier barrier, StateFn state,
+                                     const SessionTable* sessions)
+    : options_(std::move(options)),
+      barrier_(std::move(barrier)),
+      state_(std::move(state)),
+      sessions_(sessions),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : std::make_shared<obs::MetricsRegistry>()),
+      taken_metric_(&metrics_->counter("checkpoint.taken")),
+      bytes_metric_(&metrics_->counter("checkpoint.bytes_total")),
+      barrier_wait_metric_(&metrics_->histogram("checkpoint.barrier_wait_ns")),
+      capture_metric_(&metrics_->histogram("checkpoint.capture_ns")) {
+  PSMR_CHECK(barrier_.drain != nullptr);
+  PSMR_CHECK(barrier_.release != nullptr);
+  PSMR_CHECK(state_ != nullptr);
+  metrics_->gauge("checkpoint.interval")
+      .set(static_cast<double>(options_.interval));
+}
+
+void CheckpointManager::set_on_checkpoint(CheckpointFn fn) {
+  on_checkpoint_ = std::move(fn);
+}
+
+void CheckpointManager::set_horizon_fn(HorizonFn fn) { horizon_ = std::move(fn); }
+
+void CheckpointManager::on_delivered(std::uint64_t seq) {
+  if (options_.interval == 0 || seq == 0 || seq % options_.interval != 0) return;
+  checkpoint_at(seq);
+}
+
+CheckpointPtr CheckpointManager::checkpoint_at(std::uint64_t seq) {
+  // Quiesce: after drain() returns, the visible state is exactly the
+  // delivered prefix <= seq on EVERY replica running this code at this
+  // sequence — the determinism argument of DESIGN.md §12.
+  const std::uint64_t t0 = util::now_ns();
+  barrier_.drain(seq);
+  const std::uint64_t t1 = util::now_ns();
+  auto record = std::make_shared<CheckpointRecord>();
+  record->sequence = seq;
+  record->log_horizon = horizon_ ? horizon_(seq) : seq + 1;
+  record->state = state_();
+  if (sessions_ != nullptr) record->sessions = sessions_->serialize();
+  barrier_.release();
+  const std::uint64_t t2 = util::now_ns();
+
+  barrier_wait_metric_->record(t1 - t0);
+  capture_metric_->record(t2 - t1);
+  taken_metric_->add(1);
+  bytes_metric_->add(record->state.size() + record->sessions.size());
+  metrics_->gauge("checkpoint.last_sequence").set(static_cast<double>(seq));
+
+  CheckpointPtr published = std::move(record);
+  {
+    std::lock_guard lk(mu_);
+    latest_ = published;
+    ++taken_;
+  }
+  // Publication (state transfer, truncation) happens outside the barrier:
+  // execution has already resumed, the snapshot is immutable.
+  if (on_checkpoint_) on_checkpoint_(published);
+  return published;
+}
+
+CheckpointPtr CheckpointManager::latest() const {
+  std::lock_guard lk(mu_);
+  return latest_;
+}
+
+std::uint64_t CheckpointManager::checkpoints_taken() const {
+  std::lock_guard lk(mu_);
+  return taken_;
+}
+
+void CheckpointManager::adopt(CheckpointPtr record) {
+  PSMR_CHECK(record != nullptr);
+  metrics_->gauge("checkpoint.last_sequence")
+      .set(static_cast<double>(record->sequence));
+  std::lock_guard lk(mu_);
+  latest_ = std::move(record);
+}
+
+obs::Snapshot CheckpointManager::stats() const { return metrics_->snapshot(); }
+
+CheckpointQuorum::CheckpointQuorum(std::size_t quorum) : quorum_(quorum) {
+  PSMR_CHECK(quorum_ > 0);
+}
+
+std::uint64_t CheckpointQuorum::note(std::uint32_t replica_id,
+                                     std::uint64_t log_horizon) {
+  std::lock_guard lk(mu_);
+  auto& h = horizons_[replica_id];
+  h = std::max(h, log_horizon);
+  // k-th largest reported horizon (k = quorum): at least quorum replicas
+  // hold a checkpoint covering everything below it.
+  if (horizons_.size() < quorum_) return 0;
+  std::vector<std::uint64_t> sorted;
+  sorted.reserve(horizons_.size());
+  for (const auto& [id, horizon] : horizons_) sorted.push_back(horizon);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  return sorted[quorum_ - 1];
+}
+
+std::uint64_t CheckpointQuorum::stable() const {
+  std::lock_guard lk(mu_);
+  if (horizons_.size() < quorum_) return 0;
+  std::vector<std::uint64_t> sorted;
+  sorted.reserve(horizons_.size());
+  for (const auto& [id, horizon] : horizons_) sorted.push_back(horizon);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  return sorted[quorum_ - 1];
+}
+
+}  // namespace psmr::smr

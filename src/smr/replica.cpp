@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "util/assert.hpp"
 
 namespace psmr::smr {
 
@@ -24,9 +27,36 @@ Replica::Replica(Config config, Service& service, ResponseSink sink)
           }(),
           [this](const Batch& b) { execute_batch(b); }) {
   metrics_->gauge("replica.id").set(static_cast<double>(config_.replica_id));
+  if (config_.checkpoint_interval != 0) {
+    PSMR_CHECK(config_.checkpoint_state != nullptr);
+    CheckpointManager::Options copts;
+    copts.interval = config_.checkpoint_interval;
+    copts.metrics = metrics_;  // checkpoint.* joins the replica snapshot
+    checkpoints_ = std::make_unique<CheckpointManager>(
+        std::move(copts),
+        CheckpointManager::Barrier{
+            [this](std::uint64_t seq) { scheduler_.drain_to_sequence(seq); },
+            [this] { scheduler_.release_barrier(); }},
+        config_.checkpoint_state,
+        config_.exactly_once ? &sessions_ : nullptr);
+  }
+}
+
+bool Replica::install_checkpoint(const CheckpointRecord& record) {
+  PSMR_CHECK(config_.checkpoint_install != nullptr);
+  if (!config_.checkpoint_install(record.state)) return false;
+  if (config_.exactly_once && !record.sessions.empty() &&
+      !sessions_.deserialize(record.sessions)) {
+    return false;
+  }
+  if (checkpoints_ != nullptr) {
+    checkpoints_->adopt(std::make_shared<const CheckpointRecord>(record));
+  }
+  return true;
 }
 
 bool Replica::deliver(BatchPtr batch) {
+  const std::uint64_t seq = batch != nullptr ? batch->sequence() : 0;
   if (config_.exactly_once && batch != nullptr && !batch->empty()) {
     // Fast path: a batch whose every command has already been finished is a
     // retransmission; answer from the cache without polluting the graph.
@@ -51,10 +81,16 @@ bool Replica::deliver(BatchPtr batch) {
         }
       }
       batches_deduped_->add(1);
+      // A deduped sequence still advances the checkpoint clock: every
+      // replica checkpoints at the same sequence whether or not its fast
+      // path fired (the captured state is identical either way).
+      if (checkpoints_ != nullptr) checkpoints_->on_delivered(seq);
       return true;
     }
   }
-  return scheduler_.deliver(std::move(batch));
+  if (!scheduler_.deliver(std::move(batch))) return false;
+  if (checkpoints_ != nullptr) checkpoints_->on_delivered(seq);
+  return true;
 }
 
 void Replica::execute_batch(const Batch& batch) {

@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "smr/batch.hpp"
+#include "smr/checkpoint.hpp"
 #include "smr/command.hpp"
 #include "smr/session.hpp"
 
@@ -46,6 +48,18 @@ class Replica {
     /// Exactly-once dedup via the session table. Commands with
     /// sequence == 0 always bypass the table.
     bool exactly_once = true;
+    /// Deterministic checkpointing (DESIGN.md §12): checkpoint every N
+    /// delivered sequences through the scheduler's quiesce barrier. 0
+    /// disables the subsystem. Requires checkpoint_state.
+    std::uint64_t checkpoint_interval = 0;
+    /// Serializes the service state under the barrier (e.g.
+    /// `[&store] { return store.serialize(); }`). Required when
+    /// checkpoint_interval > 0 or install_checkpoint is used.
+    CheckpointManager::StateFn checkpoint_state;
+    /// Installs a checkpoint's service-state section (e.g.
+    /// `[&store](const auto& b) { return store.deserialize(b); }`) — the
+    /// automated-rejoin path.
+    std::function<bool(const std::vector<std::uint8_t>&)> checkpoint_install;
   };
 
   Replica(Config config, Service& service, ResponseSink sink);
@@ -80,6 +94,18 @@ class Replica {
     return batches_deduped_->value();
   }
 
+  /// The checkpoint subsystem; null unless Config::checkpoint_interval > 0.
+  /// Deployment wiring (log horizon stamping, on-checkpoint publication)
+  /// attaches here.
+  CheckpointManager* checkpoints() noexcept { return checkpoints_.get(); }
+
+  /// Installs a fetched checkpoint — service state via
+  /// Config::checkpoint_install, then the session table (exactly-once dedup
+  /// windows MUST be restored before replaying the log suffix). Call before
+  /// start()/any delivery. Returns false on a rejected section; the replica
+  /// must then be discarded, not started.
+  bool install_checkpoint(const CheckpointRecord& record);
+
  private:
   void execute_batch(const Batch& batch);
 
@@ -91,6 +117,7 @@ class Replica {
   obs::Counter* batches_deduped_;
   obs::Counter* responses_from_cache_;
   core::Scheduler scheduler_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
 };
 
 }  // namespace psmr::smr

@@ -1,0 +1,136 @@
+#include "smr/state_transfer.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace psmr::smr {
+
+using namespace std::chrono_literals;
+
+StateTransferServer::StateTransferServer(consensus::PaxosNetwork& net,
+                                         net::ProcessId id)
+    : net_(net), endpoint_(net.register_process(id)) {}
+
+StateTransferServer::~StateTransferServer() { stop(); }
+
+void StateTransferServer::start() {
+  PSMR_CHECK(!started_);
+  started_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void StateTransferServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void StateTransferServer::publish(const CheckpointPtr& record) {
+  PSMR_CHECK(record != nullptr);
+  auto encoded = std::make_shared<const std::vector<std::uint8_t>>(
+      encode_checkpoint(*record));
+  std::lock_guard lk(mu_);
+  // Monotonic: a stale publish (concurrent checkpoints racing) never
+  // replaces a newer record.
+  if (latest_ != nullptr && latest_->sequence >= record->sequence) return;
+  latest_ = record;
+  encoded_ = std::move(encoded);
+}
+
+CheckpointPtr StateTransferServer::latest() const {
+  std::lock_guard lk(mu_);
+  return latest_;
+}
+
+void StateTransferServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto env = endpoint_->recv_for(20ms);
+    if (!env.has_value()) continue;  // timeout or network shutdown
+    const auto* req = std::get_if<consensus::CheckpointRequest>(&env->msg);
+    if (req == nullptr) continue;  // not ours (mis-routed consensus traffic)
+    consensus::CheckpointResponse resp;
+    resp.request_id = req->request_id;
+    {
+      std::lock_guard lk(mu_);
+      if (latest_ != nullptr) {
+        resp.resume_from = latest_->log_horizon;
+        resp.record = encoded_;
+      }
+    }
+    // Counted before the send: a fetcher that returns the instant the
+    // response lands must already observe its request in the counter.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    net_.send(endpoint_->id(), env->from, std::move(resp));
+  }
+}
+
+std::optional<FetchResult> fetch_checkpoint(consensus::PaxosNetwork& net,
+                                            net::ProcessId self,
+                                            const std::vector<net::ProcessId>& servers,
+                                            std::chrono::milliseconds timeout,
+                                            std::chrono::milliseconds retry_every) {
+  PSMR_CHECK(!servers.empty());
+  consensus::PaxosEndpoint* ep = net.register_process(self);
+  // Ids only need to be unique per requester; the requester's process id is
+  // already unique on the network.
+  std::uint64_t next_id = (static_cast<std::uint64_t>(self) << 32) | 1u;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool any_answer = false;
+  consensus::InstanceId empty_resume = 1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Retransmit to every server each round — the links are fair-lossy, so
+    // persistence is the liveness argument, same as the Paxos client.
+    const std::uint64_t round_id = next_id++;
+    for (const net::ProcessId server : servers) {
+      net.send(self, server, consensus::CheckpointRequest{round_id});
+    }
+    const auto round_end =
+        std::min(deadline, std::chrono::steady_clock::now() + retry_every);
+    while (std::chrono::steady_clock::now() < round_end) {
+      auto env = ep->recv_for(10ms);
+      if (!env.has_value()) continue;
+      const auto* resp = std::get_if<consensus::CheckpointResponse>(&env->msg);
+      if (resp == nullptr) continue;
+      if (resp->record == nullptr) {
+        // A live server without a checkpoint: remember the full-replay
+        // fallback but keep polling — another server may hold one.
+        any_answer = true;
+        empty_resume = std::min<consensus::InstanceId>(empty_resume, resp->resume_from);
+        continue;
+      }
+      auto decoded = decode_checkpoint(*resp->record);
+      if (!decoded.has_value()) continue;  // corrupt frame: keep retrying
+      FetchResult result;
+      result.resume_from = resp->resume_from;
+      result.record =
+          std::make_shared<const CheckpointRecord>(*std::move(decoded));
+      return result;
+    }
+    if (any_answer) {
+      // Everything reachable says "no checkpoint yet": fall back to full
+      // replay rather than burning the whole deadline.
+      return FetchResult{nullptr, empty_resume};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> rejoin_replica(consensus::PaxosGroup& group,
+                                          Replica& replica,
+                                          consensus::AtomicBroadcast::DeliverFn delivery,
+                                          const RejoinOptions& options) {
+  auto fetched = fetch_checkpoint(group.network(), options.self, options.servers,
+                                  options.timeout, options.retry_every);
+  if (!fetched.has_value()) return std::nullopt;
+  if (fetched->record != nullptr &&
+      !replica.install_checkpoint(*fetched->record)) {
+    return std::nullopt;
+  }
+  // Resume the total order exactly where the checkpoint ends; with no
+  // checkpoint anywhere this is a full replay from instance 1.
+  return group.add_learner(std::move(delivery), fetched->resume_from);
+}
+
+}  // namespace psmr::smr

@@ -1,0 +1,113 @@
+// State transfer over psmr::net (DESIGN.md §12 rejoin protocol).
+//
+// Every replica runs a StateTransferServer: a process on the consensus
+// group's simulated network that answers CheckpointRequest with the
+// replica's latest published checkpoint (an encoded smr::CheckpointRecord
+// frame) and the instance to resume delivery from. A restarted or lagging
+// replica calls rejoin_replica(): it fetches the newest checkpoint any
+// server holds (retrying over the lossy links), installs it — service
+// state, then the session table, so exactly-once dedup survives the crash —
+// and subscribes to the total order from the record's log horizon via
+// PaxosGroup::add_learner. No test-orchestrated plumbing: the helper IS the
+// recovery path.
+//
+// Requests ride the same Message variant as the Paxos traffic, so they
+// inherit the network's fault injection (drops, duplicates, partitions);
+// fetch_checkpoint retransmits until the deadline, exactly like every other
+// sender in the stack.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "consensus/group.hpp"
+#include "consensus/types.hpp"
+#include "smr/checkpoint.hpp"
+#include "smr/replica.hpp"
+
+namespace psmr::smr {
+
+/// Serves this replica's latest checkpoint to recovering peers. Wire it to
+/// a CheckpointManager via set_on_checkpoint:
+///   manager->set_on_checkpoint([&](const CheckpointPtr& r) { server.publish(r); });
+class StateTransferServer {
+ public:
+  /// Registers process `id` on `net` (use PaxosGroup::state_process(i) to
+  /// stay inside the reserved id space).
+  StateTransferServer(consensus::PaxosNetwork& net, net::ProcessId id);
+  ~StateTransferServer();
+
+  StateTransferServer(const StateTransferServer&) = delete;
+  StateTransferServer& operator=(const StateTransferServer&) = delete;
+
+  void start();
+  void stop();
+
+  /// Publishes a checkpoint: subsequent requests are answered with it. The
+  /// frame is encoded once per publish, not per request.
+  void publish(const CheckpointPtr& record);
+
+  CheckpointPtr latest() const;
+  std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+
+  consensus::PaxosNetwork& net_;
+  consensus::PaxosEndpoint* endpoint_;
+
+  mutable std::mutex mu_;
+  CheckpointPtr latest_;
+  consensus::Value encoded_;  // encode_checkpoint(*latest_)
+
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+struct FetchResult {
+  /// The decoded checkpoint; null when the servers answered but none holds
+  /// a checkpoint yet (resume_from is then 1 — full log replay).
+  CheckpointPtr record;
+  consensus::InstanceId resume_from = 1;
+};
+
+/// Blocking checkpoint fetch with retransmission: registers `self` on the
+/// network, polls every server until one answers with a (checksum-valid)
+/// checkpoint or the deadline expires. An answered-but-empty round keeps
+/// waiting a little for a better answer, then falls back to full replay.
+/// nullopt = no server reachable within `timeout`.
+std::optional<FetchResult> fetch_checkpoint(
+    consensus::PaxosNetwork& net, net::ProcessId self,
+    const std::vector<net::ProcessId>& servers,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000),
+    std::chrono::milliseconds retry_every = std::chrono::milliseconds(100));
+
+struct RejoinOptions {
+  /// State-transfer client process id — must be fresh (unregistered); use
+  /// PaxosGroup::state_process with a per-incarnation index.
+  net::ProcessId self = 0;
+  /// Checkpoint servers to query (any subset of the replicas' servers).
+  std::vector<net::ProcessId> servers;
+  std::chrono::milliseconds timeout{5000};
+  std::chrono::milliseconds retry_every{100};
+};
+
+/// Automated crash-recovery: fetch the latest checkpoint, install it into
+/// `replica` (install_checkpoint: state + sessions), and subscribe
+/// `delivery` to the group from the record's horizon. The replica must not
+/// be started/delivering yet. Returns the new learner index; nullopt when
+/// no server answered in time or the record was rejected on install.
+std::optional<std::size_t> rejoin_replica(
+    consensus::PaxosGroup& group, Replica& replica,
+    consensus::AtomicBroadcast::DeliverFn delivery, const RejoinOptions& options);
+
+}  // namespace psmr::smr

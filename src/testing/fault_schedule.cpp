@@ -7,11 +7,29 @@
 
 namespace psmr::testing {
 
-void FaultSchedule::at(Trigger trigger, std::uint64_t threshold, std::string label,
-                       Action fire) {
+void FaultSchedule::add_entry(Trigger trigger, std::uint64_t threshold,
+                              std::string label, Action fire, FaultKind kind) {
   PSMR_CHECK(fire != nullptr);
   std::lock_guard lk(mu_);
-  entries_.push_back(Entry{trigger, threshold, std::move(label), std::move(fire), false});
+  entries_.push_back(
+      Entry{trigger, threshold, std::move(label), std::move(fire), kind, false});
+}
+
+void FaultSchedule::at(Trigger trigger, std::uint64_t threshold, std::string label,
+                       Action fire) {
+  add_entry(trigger, threshold, std::move(label), std::move(fire), FaultKind::kCustom);
+}
+
+void FaultSchedule::crash_replica_at(Trigger trigger, std::uint64_t threshold,
+                                     std::string label, ReplicaFaultTarget& target) {
+  add_entry(trigger, threshold, std::move(label), [&target] { target.crash(); },
+            FaultKind::kReplicaCrash);
+}
+
+void FaultSchedule::restart_replica_at(Trigger trigger, std::uint64_t threshold,
+                                       std::string label, ReplicaFaultTarget& target) {
+  add_entry(trigger, threshold, std::move(label), [&target] { target.restart(); },
+            FaultKind::kReplicaRestart);
 }
 
 void FaultSchedule::advance(Trigger trigger, std::uint64_t value) {
@@ -40,6 +58,13 @@ std::size_t FaultSchedule::pending() const {
   std::lock_guard lk(mu_);
   std::size_t n = 0;
   for (const Entry& e : entries_) n += e.fired ? 0 : 1;
+  return n;
+}
+
+std::size_t FaultSchedule::fired_count(FaultKind kind) const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const Entry& e : entries_) n += (e.fired && e.kind == kind) ? 1 : 0;
   return n;
 }
 

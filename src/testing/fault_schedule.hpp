@@ -38,6 +38,28 @@ enum class Trigger : std::uint8_t {
   kResponse = 2,   // number of responses observed by the client side
 };
 
+/// What a scheduled fault does. kCustom is an arbitrary Action; the replica
+/// kinds are first-class so chaos tests can script whole-replica
+/// crash/restart cycles against anything implementing ReplicaFaultTarget.
+enum class FaultKind : std::uint8_t {
+  kCustom = 0,
+  kReplicaCrash = 1,
+  kReplicaRestart = 2,
+};
+
+/// A replica (or replica stand-in) that a FaultSchedule can crash and later
+/// bring back. crash() must make the replica stop delivering/executing
+/// (e.g. PaxosGroup::crash_learner + Replica::stop); restart() must bring a
+/// NEW incarnation up through the recovery path (checkpoint fetch + log
+/// suffix replay), not resume the old one. Both are invoked from whatever
+/// thread drives FaultSchedule::advance.
+class ReplicaFaultTarget {
+ public:
+  virtual ~ReplicaFaultTarget() = default;
+  virtual void crash() = 0;
+  virtual void restart() = 0;
+};
+
 class FaultSchedule {
  public:
   using Action = std::function<void()>;
@@ -50,6 +72,17 @@ class FaultSchedule {
   /// `threshold`. Actions with equal thresholds fire in insertion order.
   void at(Trigger trigger, std::uint64_t threshold, std::string label, Action fire);
 
+  /// Schedules target.crash() — e.g. "crash the leader after 20
+  /// broadcasts", or crash a replica mid-checkpoint-interval. The target
+  /// must outlive the schedule.
+  void crash_replica_at(Trigger trigger, std::uint64_t threshold, std::string label,
+                        ReplicaFaultTarget& target);
+
+  /// Schedules target.restart() — the recovery half of a crash/restart
+  /// cycle. Pair with an earlier crash_replica_at on the same target.
+  void restart_replica_at(Trigger trigger, std::uint64_t threshold, std::string label,
+                          ReplicaFaultTarget& target);
+
   /// Reports trigger progress. Runs every due, not-yet-fired action —
   /// exactly once each, outside the internal lock (actions may call back
   /// into the network/group). Thread-safe; concurrent advances serialize.
@@ -60,14 +93,22 @@ class FaultSchedule {
 
   std::size_t pending() const;
 
+  /// Fired actions of one kind (e.g. how many scripted crashes have
+  /// actually happened — chaos tests assert progress against this).
+  std::size_t fired_count(FaultKind kind) const;
+
  private:
   struct Entry {
     Trigger trigger;
     std::uint64_t threshold;
     std::string label;
     Action fire;
+    FaultKind kind = FaultKind::kCustom;
     bool fired = false;
   };
+
+  void add_entry(Trigger trigger, std::uint64_t threshold, std::string label,
+                 Action fire, FaultKind kind);
 
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
