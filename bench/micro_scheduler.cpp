@@ -10,22 +10,27 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/dependency_graph.hpp"
+#include "core/early_scheduler.hpp"
 #include "core/scheduler.hpp"
 #include "core/sharded_scheduler.hpp"
 #include "kvstore/kvstore.hpp"
 #include "obs/metrics.hpp"
 #include "smr/checkpoint.hpp"
 #include "smr/codec.hpp"
+#include "smr/conflict_class.hpp"
 #include "util/bitmap.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/rng.hpp"
 #include "util/spsc_queue.hpp"
+#include "util/zipf.hpp"
 
 namespace {
 
@@ -350,11 +355,14 @@ struct ShardedMeasurement {
 /// per-shard sentinel batches while the delivery loop is timed, exactly
 /// like measure_scheduler_throughput; S=1 is the single-scheduler baseline.
 /// `cross_fraction` makes every (1/f)-th batch span two shards, paying the
-/// deterministic gate.
+/// deterministic gate; `word_gate` picks the packed-atomic-word rendezvous
+/// for 2-shard gates vs the mutex/cv slow path (ISSUE 7 satellite: the
+/// before/after rows isolate the gate's synchronization cost).
 ShardedMeasurement measure_sharded_throughput(unsigned shards, unsigned total_workers,
                                               std::size_t batch_size,
                                               std::size_t n_batches,
-                                              double cross_fraction) {
+                                              double cross_fraction,
+                                              bool word_gate) {
   const unsigned per_shard_workers = std::max(1u, total_workers / shards);
   const std::uint64_t n_sentinels =
       static_cast<std::uint64_t>(shards) * per_shard_workers;
@@ -407,11 +415,14 @@ ShardedMeasurement measure_sharded_throughput(unsigned shards, unsigned total_wo
   }
 
   std::atomic<bool> release{false};
+  psmr::core::SchedulerOptions sopts;
+  sopts.workers = per_shard_workers;
+  sopts.shards = shards;
+  sopts.mode = ConflictMode::kKeysNested;
+  sopts.index = IndexMode::kScan;
+  sopts.gate_word_fast_path = word_gate;
   psmr::core::ShardedScheduler scheduler(
-      psmr::core::SchedulerOptions{.workers = per_shard_workers,
-                                   .shards = shards,
-                                   .mode = ConflictMode::kKeysNested,
-                                   .index = IndexMode::kScan},
+      std::move(sopts),
       [&release, n_sentinels](const psmr::smr::Batch& b) {
         if (b.sequence() <= n_sentinels) {
           while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
@@ -440,6 +451,20 @@ ShardedMeasurement measure_sharded_throughput(unsigned shards, unsigned total_wo
   return m;
 }
 
+/// The shard sweep's resolved configuration — one source of truth for the
+/// measurement loop AND the `--shards` JSON header, so the header always
+/// names exactly what ran. The two cross=0.05 rows are the word-gate
+/// before/after pair: same workload, mutex/cv rendezvous vs the packed
+/// atomic-word futex gate.
+struct ShardRow {
+  unsigned shards;
+  double cross;
+  bool word_gate;
+};
+constexpr ShardRow kShardRows[] = {
+    {1, 0.0, true}, {2, 0.0, true}, {4, 0.0, true}, {4, 0.05, false}, {4, 0.05, true}};
+constexpr unsigned kShardTotalWorkers = 4;
+
 /// The shard-scaling rows (ISSUE 5 acceptance: >= 1.5x delivery throughput
 /// at S=4 on a partition-friendly workload). Shared between the full
 /// `--json` run (section of BENCH_scheduler.json) and the `--shards` smoke
@@ -447,30 +472,281 @@ ShardedMeasurement measure_sharded_throughput(unsigned shards, unsigned total_wo
 void write_sharded_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metrics) {
   const std::size_t n = smoke ? 300 : 2000;
   const std::size_t batch_size = 16;
-  struct Row {
-    unsigned shards;
-    double cross;
-  };
-  const Row rows[] = {{1, 0.0}, {2, 0.0}, {4, 0.0}, {4, 0.05}};
   double baseline = 0.0;
   bool first = true;
-  for (const Row& r : rows) {
-    const ShardedMeasurement m =
-        measure_sharded_throughput(r.shards, /*total_workers=*/4, batch_size, n, r.cross);
+  for (const ShardRow& r : kShardRows) {
+    const ShardedMeasurement m = measure_sharded_throughput(
+        r.shards, kShardTotalWorkers, batch_size, n, r.cross, r.word_gate);
     if (r.shards == 1) baseline = m.delivery_kcmds_per_sec;
     const double speedup = baseline > 0.0 ? m.delivery_kcmds_per_sec / baseline : 0.0;
     std::fprintf(f,
                  "%s    {\"mode\": \"keys-nested\", \"index\": \"scan\", \"shards\": %u, "
                  "\"workers_per_shard\": %u, \"batch_size\": %zu, \"batches\": %zu, "
-                 "\"cross_shard_fraction\": %.3f, \"delivery_kcmds_per_sec\": %.1f, "
-                 "\"speedup_vs_single\": %.2f}",
-                 first ? "" : ",\n", r.shards, std::max(1u, 4 / r.shards), batch_size, n,
-                 m.cross_fraction, m.delivery_kcmds_per_sec, speedup);
+                 "\"cross_shard_fraction\": %.3f, \"cross_gate\": \"%s\", "
+                 "\"delivery_kcmds_per_sec\": %.1f, \"speedup_vs_single\": %.2f}",
+                 first ? "" : ",\n", r.shards,
+                 std::max(1u, kShardTotalWorkers / r.shards), batch_size, n,
+                 m.cross_fraction, r.word_gate ? "word" : "mutex",
+                 m.delivery_kcmds_per_sec, speedup);
     first = false;
-    std::printf("sharded      shards=%u cross=%.2f: %10.1f kCmds/s delivery, "
-                "%.2fx vs single\n",
-                r.shards, m.cross_fraction, m.delivery_kcmds_per_sec, speedup);
+    std::printf("sharded      shards=%u cross=%.2f gate=%-5s: %10.1f kCmds/s "
+                "delivery, %.2fx vs single\n",
+                r.shards, m.cross_fraction, r.word_gate ? "word" : "mutex",
+                m.delivery_kcmds_per_sec, speedup);
     if (last_metrics != nullptr) *last_metrics = m.final_metrics;
+  }
+}
+
+struct EarlyMeasurement {
+  double delivery_kcmds_per_sec = 0.0;
+  double fast_path_fraction = 0.0;
+  double multi_class_fraction = 0.0;
+  psmr::obs::Snapshot final_metrics;
+};
+
+/// Contiguous-range class map with one class per worker: class c owns
+/// [c*2^40, (c+1)*2^40), and worker_of_class is the identity. This is the
+/// declared-conflict-class regime of the early-scheduling model — the
+/// binding is fixed before any batch is delivered.
+std::shared_ptr<psmr::smr::ConflictClassMap> make_range_class_map(unsigned classes) {
+  constexpr std::uint64_t kClassSpan = 1ull << 40;
+  auto map = std::make_shared<psmr::smr::ConflictClassMap>();
+  for (unsigned c = 0; c < classes; ++c) {
+    map->add_range(c * kClassSpan, (c + 1) * kClassSpan - 1, c);
+  }
+  return map;
+}
+
+/// Delivery throughput on a single-class-dominant workload (the ISSUE 7
+/// acceptance regime), templated over the scheduler variant so the
+/// EarlyScheduler and the indexed graph Scheduler run the IDENTICAL batch
+/// stream with identical sentinel pinning. Batch i touches only class
+/// (i % workers)'s key range with globally distinct keys (conflict-free),
+/// so the graph pays insert + aggregate probe per batch while the early
+/// path pays one FIFO push — the delivery-loop cost the tentpole removes.
+template <typename S>
+EarlyMeasurement measure_early_throughput(unsigned workers, std::size_t batch_size,
+                                          std::size_t n_batches) {
+  constexpr std::uint64_t kClassSpan = 1ull << 40;
+  auto map = make_range_class_map(workers);
+  std::vector<std::uint64_t> cursor(workers, 0);
+  auto make_class_batch = [&](std::uint64_t seq, unsigned cls) {
+    std::vector<psmr::smr::Command> cmds;
+    cmds.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      psmr::smr::Command c;
+      c.type = psmr::smr::OpType::kUpdate;
+      c.key = cls * kClassSpan + cursor[cls]++;
+      cmds.push_back(c);
+    }
+    auto b = std::make_shared<psmr::smr::Batch>(std::move(cmds));
+    b->set_sequence(seq);
+    b->build_class_mask(*map);  // stamped at formation time, as the proxy does
+    return b;
+  };
+
+  std::uint64_t seq = 0;
+  std::vector<psmr::smr::BatchPtr> pinned;
+  for (unsigned w = 0; w < workers; ++w) {
+    pinned.push_back(make_class_batch(++seq, w));
+  }
+  std::vector<psmr::smr::BatchPtr> batches;
+  batches.reserve(n_batches);
+  for (std::size_t i = 0; i < n_batches; ++i) {
+    batches.push_back(make_class_batch(++seq, static_cast<unsigned>(i % workers)));
+  }
+
+  std::atomic<bool> release{false};
+  psmr::core::SchedulerOptions opts;
+  opts.workers = workers;
+  opts.mode = ConflictMode::kKeysNested;
+  opts.index = IndexMode::kIndexed;
+  opts.class_map = map;  // the graph Scheduler ignores it
+  S scheduler(std::move(opts), [&release, workers](const psmr::smr::Batch& b) {
+    if (b.sequence() <= workers) {
+      while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    }
+  });
+  scheduler.start();
+  for (auto& b : pinned) scheduler.deliver(std::move(b));
+  // Let every worker take its sentinel before the timed window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& b : batches) scheduler.deliver(std::move(b));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  release.store(true, std::memory_order_release);
+  scheduler.wait_idle();
+  const psmr::obs::Snapshot st = scheduler.stats();
+  scheduler.stop();
+
+  EarlyMeasurement m;
+  m.delivery_kcmds_per_sec =
+      static_cast<double>(n_batches * batch_size) / secs / 1000.0;
+  m.fast_path_fraction = st.gauge("early.fast_path_fraction");
+  const auto delivered = st.counter("scheduler.batches_delivered");
+  m.multi_class_fraction =
+      delivered != 0 ? static_cast<double>(st.counter("early.batches_multi_class")) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  m.final_metrics = st;
+  return m;
+}
+
+/// The early-scheduler rows (ISSUE 7 acceptance: >= 2x delivery throughput
+/// vs the indexed single Scheduler on a single-class-dominant workload,
+/// with the fast-path fraction reported through the early.* metrics).
+void write_early_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metrics) {
+  const std::size_t n = smoke ? 300 : 2000;
+  const std::size_t batch_size = 16;
+  bool first = true;
+  for (const unsigned workers : {4u, 8u}) {
+    const EarlyMeasurement base =
+        measure_early_throughput<psmr::core::Scheduler>(workers, batch_size, n);
+    const EarlyMeasurement early =
+        measure_early_throughput<psmr::core::EarlyScheduler>(workers, batch_size, n);
+    const double speedup = base.delivery_kcmds_per_sec > 0.0
+                               ? early.delivery_kcmds_per_sec / base.delivery_kcmds_per_sec
+                               : 0.0;
+    const struct {
+      const char* name;
+      const EarlyMeasurement* m;
+      double speedup;
+    } rows[] = {{"graph-indexed", &base, 1.0}, {"early", &early, speedup}};
+    for (const auto& r : rows) {
+      std::fprintf(f,
+                   "%s    {\"scheduler\": \"%s\", \"workers\": %u, \"classes\": %u, "
+                   "\"batch_size\": %zu, \"batches\": %zu, "
+                   "\"delivery_kcmds_per_sec\": %.1f, \"speedup_vs_indexed\": %.2f, "
+                   "\"fast_path_fraction\": %.3f}",
+                   first ? "" : ",\n", r.name, workers, workers, batch_size, n,
+                   r.m->delivery_kcmds_per_sec, r.speedup, r.m->fast_path_fraction);
+      first = false;
+      std::printf("early        %-13s workers=%u: %10.1f kCmds/s delivery, "
+                  "%.2fx vs indexed, fast-path %.3f\n",
+                  r.name, workers, r.m->delivery_kcmds_per_sec, r.speedup,
+                  r.m->fast_path_fraction);
+    }
+    if (last_metrics != nullptr) *last_metrics = early.final_metrics;
+  }
+}
+
+/// Zipf-skewed delivery throughput (ISSUE 7 satellite): keys drawn from a
+/// ZipfGenerator over a 2^20-key universe split into `workers` contiguous
+/// class ranges. Low theta spreads batches across classes (multi-class
+/// gates); high theta concentrates them in class 0's range (fast path, but
+/// one hot worker) — the sweep shows where each regime pays.
+template <typename S>
+EarlyMeasurement measure_zipf_throughput(unsigned workers, std::size_t batch_size,
+                                         std::size_t n_batches, double theta) {
+  constexpr std::uint64_t kUniverse = 1ull << 20;
+  const std::uint64_t span = kUniverse / workers;
+  auto map = std::make_shared<psmr::smr::ConflictClassMap>();
+  for (unsigned c = 0; c < workers; ++c) {
+    map->add_range(c * span, (c + 1) * span - 1, c);
+  }
+  psmr::util::ZipfGenerator zipf(kUniverse, theta);
+  psmr::util::Xoshiro256 rng(0x5eedull + static_cast<std::uint64_t>(theta * 1000.0));
+  auto make_zipf_batch = [&](std::uint64_t seq) {
+    std::vector<psmr::smr::Command> cmds;
+    cmds.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      psmr::smr::Command c;
+      c.type = psmr::smr::OpType::kUpdate;
+      c.key = zipf(rng);
+      cmds.push_back(c);
+    }
+    auto b = std::make_shared<psmr::smr::Batch>(std::move(cmds));
+    b->set_sequence(seq);
+    b->build_class_mask(*map);
+    return b;
+  };
+
+  std::uint64_t seq = 0;
+  std::vector<psmr::smr::BatchPtr> pinned;
+  for (unsigned w = 0; w < workers; ++w) {
+    // One in-class sentinel per worker (key = the range's first rank).
+    std::vector<psmr::smr::Command> cmds(1);
+    cmds[0].type = psmr::smr::OpType::kUpdate;
+    cmds[0].key = w * span;
+    auto b = std::make_shared<psmr::smr::Batch>(std::move(cmds));
+    b->set_sequence(++seq);
+    b->build_class_mask(*map);
+    pinned.push_back(std::move(b));
+  }
+  std::vector<psmr::smr::BatchPtr> batches;
+  batches.reserve(n_batches);
+  for (std::size_t i = 0; i < n_batches; ++i) batches.push_back(make_zipf_batch(++seq));
+
+  std::atomic<bool> release{false};
+  psmr::core::SchedulerOptions opts;
+  opts.workers = workers;
+  opts.mode = ConflictMode::kKeysNested;
+  opts.index = IndexMode::kIndexed;
+  opts.class_map = map;
+  S scheduler(std::move(opts), [&release, workers](const psmr::smr::Batch& b) {
+    if (b.sequence() <= workers) {
+      while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    }
+  });
+  scheduler.start();
+  for (auto& b : pinned) scheduler.deliver(std::move(b));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& b : batches) scheduler.deliver(std::move(b));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  release.store(true, std::memory_order_release);
+  scheduler.wait_idle();
+  const psmr::obs::Snapshot st = scheduler.stats();
+  scheduler.stop();
+
+  EarlyMeasurement m;
+  m.delivery_kcmds_per_sec =
+      static_cast<double>(n_batches * batch_size) / secs / 1000.0;
+  m.fast_path_fraction = st.gauge("early.fast_path_fraction");
+  const auto delivered = st.counter("scheduler.batches_delivered");
+  m.multi_class_fraction =
+      delivered != 0 ? static_cast<double>(st.counter("early.batches_multi_class")) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  m.final_metrics = st;
+  return m;
+}
+
+/// The `--zipf-theta` sweep rows: early vs indexed-graph delivery under
+/// increasing key skew. `extra_theta >= 0` appends one user-chosen point.
+void write_zipf_rows(FILE* f, bool smoke, double extra_theta) {
+  const std::size_t n = smoke ? 200 : 1000;
+  const std::size_t batch_size = 16;
+  std::vector<double> thetas = {0.0, 0.5, 0.99};
+  if (extra_theta >= 0.0) thetas.push_back(extra_theta);
+  bool first = true;
+  for (const double theta : thetas) {
+    const EarlyMeasurement base =
+        measure_zipf_throughput<psmr::core::Scheduler>(4, batch_size, n, theta);
+    const EarlyMeasurement early =
+        measure_zipf_throughput<psmr::core::EarlyScheduler>(4, batch_size, n, theta);
+    const double speedup = base.delivery_kcmds_per_sec > 0.0
+                               ? early.delivery_kcmds_per_sec / base.delivery_kcmds_per_sec
+                               : 0.0;
+    std::fprintf(f,
+                 "%s    {\"zipf_theta\": %.2f, \"workers\": 4, \"batch_size\": %zu, "
+                 "\"batches\": %zu, \"indexed_kcmds_per_sec\": %.1f, "
+                 "\"early_kcmds_per_sec\": %.1f, \"early_speedup_vs_indexed\": %.2f, "
+                 "\"fast_path_fraction\": %.3f, \"multi_class_fraction\": %.3f}",
+                 first ? "" : ",\n", theta, batch_size, n,
+                 base.delivery_kcmds_per_sec, early.delivery_kcmds_per_sec, speedup,
+                 early.fast_path_fraction, early.multi_class_fraction);
+    first = false;
+    std::printf("zipf         theta=%.2f: early %10.1f kCmds/s (%.2fx vs indexed), "
+                "fast-path %.3f, multi-class %.3f\n",
+                theta, early.delivery_kcmds_per_sec, speedup,
+                early.fast_path_fraction, early.multi_class_fraction);
   }
 }
 
@@ -651,6 +927,22 @@ int shards_main(bool smoke, const char* metrics_path) {
   }
   std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_shards\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  // Resolved configuration header (ISSUE 7 satellite): what actually runs,
+  // derived from the same row table the measurement loop iterates.
+  std::fprintf(f,
+               "  \"config\": {\"total_workers\": %u, \"mode\": \"keys-nested\", "
+               "\"index\": \"scan\", \"rows\": [",
+               kShardTotalWorkers);
+  for (std::size_t i = 0; i < std::size(kShardRows); ++i) {
+    const ShardRow& r = kShardRows[i];
+    std::fprintf(f,
+                 "%s{\"shards\": %u, \"workers_per_shard\": %u, "
+                 "\"cross_shard_fraction\": %.3f, \"cross_gate\": \"%s\"}",
+                 i == 0 ? "" : ", ", r.shards,
+                 std::max(1u, kShardTotalWorkers / r.shards), r.cross,
+                 r.word_gate ? "word" : "mutex");
+  }
+  std::fprintf(f, "]},\n");
   std::fprintf(f, "  \"sharded_scheduler\": [\n");
   psmr::obs::Snapshot last_metrics;
   write_sharded_rows(f, smoke, &last_metrics);
@@ -670,6 +962,60 @@ int shards_main(bool smoke, const char* metrics_path) {
     std::fclose(mf);
     std::printf("wrote %s\n", metrics_path);
   }
+  return 0;
+}
+
+/// `--early` mode: only the early-scheduler acceptance rows, written to
+/// BENCH_scheduler_early.json (+ the early run's psmr.metrics.v1 export
+/// carrying the early.* counters/gauges for the schema fixture).
+int early_main(bool smoke, const char* metrics_path) {
+  FILE* f = std::fopen("BENCH_scheduler_early.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scheduler_early.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_early\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"config\": {\"map\": \"contiguous-ranges\", "
+               "\"classes_per_worker\": 1, \"worker_counts\": [4, 8]},\n");
+  std::fprintf(f, "  \"early_scheduler\": [\n");
+  psmr::obs::Snapshot last_metrics;
+  write_early_rows(f, smoke, &last_metrics);
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scheduler_early.json\n");
+
+  if (metrics_path != nullptr) {
+    FILE* mf = std::fopen(metrics_path, "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      return 1;
+    }
+    const std::string json = last_metrics.to_json();
+    std::fwrite(json.data(), 1, json.size(), mf);
+    std::fputc('\n', mf);
+    std::fclose(mf);
+    std::printf("wrote %s\n", metrics_path);
+  }
+  return 0;
+}
+
+/// `--zipf-theta[=t]` mode: only the Zipf skew sweep, written to
+/// BENCH_scheduler_zipf.json.
+int zipf_main(bool smoke, double extra_theta) {
+  FILE* f = std::fopen("BENCH_scheduler_zipf.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scheduler_zipf.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_zipf\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"zipf_sweep\": [\n");
+  write_zipf_rows(f, smoke, extra_theta);
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scheduler_zipf.json\n");
   return 0;
 }
 
@@ -751,6 +1097,10 @@ int json_main(bool smoke, const char* metrics_path) {
       last_metrics = std::move(m.final_metrics);
     }
   }
+  std::fprintf(f, "\n  ],\n  \"early_scheduler\": [\n");
+  write_early_rows(f, smoke, nullptr);
+  std::fprintf(f, "\n  ],\n  \"zipf_sweep\": [\n");
+  write_zipf_rows(f, smoke, /*extra_theta=*/-1.0);
   std::fprintf(f, "\n  ],\n  \"sharded_scheduler\": [\n");
   write_sharded_rows(f, smoke, nullptr);
   std::fprintf(f, "\n  ],\n  \"checkpoint_sweep\": [\n");
@@ -783,6 +1133,9 @@ int main(int argc, char** argv) {
   bool json = false;
   bool shards = false;
   bool checkpoints = false;
+  bool early = false;
+  bool zipf = false;
+  double zipf_theta = -1.0;
   bool smoke = false;
   const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -790,6 +1143,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--shards") == 0) shards = true;
     if (std::strcmp(argv[i], "--checkpoint-interval") == 0) checkpoints = true;
     if (std::strcmp(argv[i], "--checkpoints") == 0) checkpoints = true;
+    if (std::strcmp(argv[i], "--early") == 0) early = true;
+    if (std::strcmp(argv[i], "--zipf-theta") == 0) zipf = true;
+    if (std::strncmp(argv[i], "--zipf-theta=", 13) == 0) {
+      zipf = true;
+      zipf_theta = std::atof(argv[i] + 13);
+    }
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--metrics-json") == 0) metrics_path = "METRICS_scheduler.json";
     if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) metrics_path = argv[i] + 15;
@@ -804,6 +1163,12 @@ int main(int argc, char** argv) {
                        metrics_path != nullptr ? metrics_path
                                                : "METRICS_sharded_scheduler.json");
   }
+  if (early) {
+    return early_main(smoke,
+                      metrics_path != nullptr ? metrics_path
+                                              : "METRICS_early_scheduler.json");
+  }
+  if (zipf) return zipf_main(smoke, zipf_theta);
   if (json) return json_main(smoke, metrics_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

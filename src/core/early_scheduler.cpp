@@ -1,0 +1,530 @@
+#include "core/early_scheduler.hpp"
+
+#include <bit>
+#include <exception>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace psmr::core {
+
+namespace {
+constexpr std::size_t kDefaultQueueCapacity = std::size_t{1} << 16;
+}  // namespace
+
+EarlyScheduler::EarlyScheduler(SchedulerOptions options, Executor executor)
+    : config_(std::move(options)),
+      executor_(std::move(executor)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      batches_delivered_metric_(&metrics_->counter("scheduler.batches_delivered")),
+      batches_executed_metric_(&metrics_->counter("scheduler.batches_executed")),
+      commands_executed_metric_(&metrics_->counter("scheduler.commands_executed")),
+      batches_failed_metric_(&metrics_->counter("scheduler.batches_failed")),
+      fast_path_metric_(&metrics_->counter("early.batches_fast_path")),
+      multi_class_metric_(&metrics_->counter("early.batches_multi_class")),
+      fallback_metric_(&metrics_->counter("early.batches_fallback")),
+      queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
+      tracer_(config_.trace_capacity) {
+  config_.validate();
+  PSMR_CHECK(executor_ != nullptr);
+  // Participant ids are class workers 0..W-1 plus the fallback engine at
+  // bit W, all in one 64-bit set — same cap as the class mask itself.
+  PSMR_CHECK(config_.workers <= smr::ConflictClassMap::kMaxClasses);
+  map_ = config_.class_map != nullptr
+             ? config_.class_map
+             : std::make_shared<const smr::ConflictClassMap>(
+                   smr::ConflictClassMap::uniform(config_.workers));
+  map_fingerprint_ = map_->fingerprint();
+
+  const std::size_t cap = config_.max_pending_batches != 0
+                              ? config_.max_pending_batches
+                              : kDefaultQueueCapacity;
+  workers_.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    auto worker = std::make_unique<Worker>(cap);
+    const std::string prefix = "early.worker." + std::to_string(w) + ".";
+    worker->executed_metric = &metrics_->counter(prefix + "batches_executed");
+    worker->depth_metric = &metrics_->histogram(prefix + "queue_depth");
+    workers_.push_back(std::move(worker));
+  }
+
+  // The embedded graph engine runs unclassified batches with the exact
+  // mechanism of the single Scheduler (same conflict mode/index knobs). It
+  // publishes into a private registry (stats() merges it under `fallback.`)
+  // and leaves tracing to the outer tracer.
+  SchedulerOptions sub = config_;
+  sub.metrics = nullptr;
+  sub.shards = 1;
+  sub.class_map = nullptr;
+  sub.trace_capacity = 0;
+  sub.workers = config_.fallback_workers != 0 ? config_.fallback_workers
+                                              : config_.workers;
+  fallback_ = std::make_unique<Scheduler>(
+      std::move(sub), [this](const smr::Batch& b) {
+        std::shared_ptr<Gate> gate;
+        {
+          std::lock_guard lk(gates_mu_);
+          const auto it = gates_.find(b.sequence());
+          if (it != gates_.end()) gate = it->second;
+        }
+        tracer_.record(b.sequence(), obs::Stage::kReady);
+        tracer_.record(b.sequence(), obs::Stage::kTaken);
+        if (gate == nullptr) {
+          // Pure fallback batch: the engine isolates faults, fires the
+          // forwarded on_failure, and runs its own circuit breaker; only
+          // the exactly-once totals are accounted here.
+          try {
+            executor_(b);
+          } catch (...) {
+            batches_failed_metric_->add(1);
+            tracer_.record_executed(b.sequence(), num_class_workers(), true);
+            tracer_.record(b.sequence(), obs::Stage::kRemoved);
+            throw;
+          }
+          batches_executed_metric_->add(1);
+          commands_executed_metric_->add(b.size());
+          tracer_.record_executed(b.sequence(), num_class_workers(), false);
+          tracer_.record(b.sequence(), obs::Stage::kRemoved);
+          return;
+        }
+        rendezvous(num_class_workers(), *gate, b);
+      });
+
+  metrics_->gauge("early.classes").set(static_cast<double>(map_->num_classes()));
+  metrics_->gauge("early.class_workers").set(static_cast<double>(config_.workers));
+}
+
+EarlyScheduler::~EarlyScheduler() { stop(); }
+
+void EarlyScheduler::start() {
+  PSMR_CHECK(!started_.exchange(true));
+  fallback_->start();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+  }
+}
+
+void EarlyScheduler::set_on_failure(FailureFn fn) {
+  on_failure_ = std::move(fn);
+  // Pure-fallback failures (and fallback-led gate failures) throw out of
+  // the embedded engine, which fires this forward exactly once; class-
+  // worker paths call on_failure_ directly.
+  fallback_->set_on_failure([this](const smr::Batch& b, const std::string& what) {
+    if (on_failure_) on_failure_(b, what);
+  });
+}
+
+std::uint64_t EarlyScheduler::participants_of(std::uint64_t class_mask) const noexcept {
+  const unsigned W = num_class_workers();
+  std::uint64_t pset = 0;
+  std::uint64_t classes = class_mask & ~smr::ConflictClassMap::kUnclassifiedBit;
+  while (classes != 0) {
+    const auto cls = static_cast<std::uint32_t>(std::countr_zero(classes));
+    pset |= std::uint64_t{1} << smr::ConflictClassMap::worker_of_class(cls, W);
+    classes &= classes - 1;
+  }
+  if ((class_mask & smr::ConflictClassMap::kUnclassifiedBit) != 0) {
+    pset |= std::uint64_t{1} << W;
+  }
+  return pset;
+}
+
+bool EarlyScheduler::deliver(smr::BatchPtr batch) {
+  PSMR_CHECK(batch != nullptr);
+  PSMR_CHECK(batch->sequence() != 0);
+  std::lock_guard lifecycle(lifecycle_mu_);
+  if (stopping_.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t seq = batch->sequence();
+  tracer_.begin(seq);
+  // Trust the class mask stamped at batch formation only when it was
+  // computed under our exact map; otherwise recompute (one pass).
+  std::uint64_t mask = batch->class_map_fingerprint() == map_fingerprint_
+                           ? batch->class_mask()
+                           : smr::compute_class_mask(*batch, *map_);
+  if (mask == 0) mask = 1;  // empty batch: route to class 0's worker
+  const std::uint64_t pset = participants_of(mask);
+  const int touched = std::popcount(pset);
+  const std::uint64_t fallback_bit = std::uint64_t{1} << num_class_workers();
+
+  if (touched == 1 && pset != fallback_bit) {
+    // FAST PATH: one owning worker — the scheduling decision was made at
+    // configuration time; delivery is a FIFO push.
+    const auto w = static_cast<std::size_t>(std::countr_zero(pset));
+    push_item(w, Item{std::move(batch), nullptr, 0});
+    tracer_.record(seq, obs::Stage::kInserted);
+    batches_delivered_metric_->add(1);
+    fast_path_metric_->add(1);
+    return true;
+  }
+  if (pset == fallback_bit) {
+    // Every command unclassified: plain graph insertion.
+    if (!fallback_->deliver(std::move(batch))) return false;
+    tracer_.record(seq, obs::Stage::kInserted);
+    batches_delivered_metric_->add(1);
+    fallback_metric_->add(1);
+    return true;
+  }
+  // MULTI-CLASS (and/or mixed classified+unclassified): register the
+  // delivery-sequence-keyed gate FIRST, then hand the batch to every
+  // touched participant in ascending order. All replicas deliver in the
+  // same total order, so every participant sees the same subsequence.
+  auto gate = std::make_shared<Gate>();
+  gate->expected = static_cast<unsigned>(touched);
+  gate->leader = static_cast<std::size_t>(std::countr_zero(pset));
+  {
+    std::lock_guard lk(gates_mu_);
+    gates_.emplace(seq, gate);
+  }
+  for (std::uint64_t rest = pset & (fallback_bit - 1); rest != 0; rest &= rest - 1) {
+    const auto w = static_cast<std::size_t>(std::countr_zero(rest));
+    push_item(w, Item{batch, gate, 0});
+  }
+  if ((pset & fallback_bit) != 0) {
+    if (!fallback_->deliver(batch)) {
+      // Raced stop(): the engine rejected its leg. The class-worker legs
+      // are already queued and drain before the workers join, so shrink
+      // the gate to the participants that actually hold the batch. The
+      // fallback participant has the highest id, so the leader stands.
+      std::lock_guard lk(gate->mu);
+      --gate->expected;
+      gate->cv.notify_all();
+    }
+  }
+  tracer_.record(seq, obs::Stage::kInserted);
+  batches_delivered_metric_->add(1);
+  multi_class_metric_->add(1);
+  if ((mask & smr::ConflictClassMap::kUnclassifiedBit) != 0) {
+    fallback_metric_->add(1);
+  }
+  return true;
+}
+
+void EarlyScheduler::push_item(std::size_t w, Item item) {
+  Worker& worker = *workers_[w];
+  item.pushed_ns = util::now_ns();
+  worker.pending.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  worker.depth_metric->record(worker.queue.approx_size());
+  // The queue is sized from max_pending_batches (or a large default):
+  // a full queue is backpressure, the same contract as Scheduler's
+  // deliver(). The worker keeps draining, so this terminates.
+  while (!worker.queue.try_push(item)) {
+    if (worker.sleeping.load(std::memory_order_seq_cst)) {
+      std::lock_guard lk(worker.mu);
+      worker.cv.notify_one();
+    }
+    std::this_thread::yield();
+  }
+  // Dekker-style wakeup: the push above is visible before this load; the
+  // worker sets `sleeping` before its final empty re-check.
+  if (worker.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard lk(worker.mu);
+    worker.cv.notify_one();
+  }
+}
+
+void EarlyScheduler::worker_loop(std::size_t w) {
+  Worker& me = *workers_[w];
+  for (;;) {
+    std::optional<Item> popped = me.queue.try_pop();
+    if (!popped) {
+      std::unique_lock lk(me.mu);
+      me.sleeping.store(true, std::memory_order_seq_cst);
+      popped = me.queue.try_pop();
+      if (!popped) {
+        if (stopping_.load(std::memory_order_acquire)) {
+          me.sleeping.store(false, std::memory_order_relaxed);
+          return;
+        }
+        me.cv.wait(lk);
+        me.sleeping.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      me.sleeping.store(false, std::memory_order_relaxed);
+    }
+    Item item = std::move(*popped);
+    const std::uint64_t seq = item.batch->sequence();
+    // Quiesce barrier: the queue is a delivery-order subsequence, so the
+    // first item past the barrier sequence means everything behind it is
+    // also past — park right here.
+    if (barrier_armed_.load(std::memory_order_acquire) &&
+        seq > barrier_seq_.load(std::memory_order_relaxed)) {
+      std::unique_lock lk(barrier_mu_);
+      if (barrier_armed_.load(std::memory_order_relaxed)) {
+        me.parked_seq.store(seq, std::memory_order_relaxed);
+        barrier_cv_.notify_all();  // awaiter re-checks the quiesce condition
+        release_cv_.wait(lk, [&] {
+          return !barrier_armed_.load(std::memory_order_relaxed) ||
+                 stopping_.load(std::memory_order_relaxed);
+        });
+        me.parked_seq.store(0, std::memory_order_relaxed);
+      }
+    }
+    process_item(w, item);
+  }
+}
+
+void EarlyScheduler::process_item(std::size_t w, Item& item) {
+  const smr::Batch& batch = *item.batch;
+  const std::uint64_t seq = batch.sequence();
+  queue_wait_metric_->record(util::now_ns() - item.pushed_ns);
+  tracer_.record(seq, obs::Stage::kReady);
+  tracer_.record(seq, obs::Stage::kTaken);
+  if (item.gate == nullptr) {
+    run_leader(w, batch);
+  } else {
+    rendezvous(w, *item.gate, batch);
+  }
+  // Publish the depth change BEFORE complete_one's barrier notification:
+  // the quiesce predicate reads `pending`, so notifying first would let the
+  // awaiter observe the stale count and sleep through the last wakeup.
+  workers_[w]->pending.fetch_sub(1, std::memory_order_release);
+  complete_one();
+}
+
+void EarlyScheduler::run_leader(std::size_t participant, const smr::Batch& batch) {
+  // Executes a batch on a class worker (fast path, or as gate leader),
+  // with the same fault isolation + circuit-breaker contract as the graph
+  // Scheduler's worker loop. Degraded mode serializes to one batch in
+  // flight; effects of non-conflicting batches commute, so the interleaving
+  // change cannot diverge replicas.
+  bool ok = true;
+  std::string what;
+  try {
+    if (degraded_.load(std::memory_order_acquire)) {
+      std::lock_guard serial(serial_mu_);
+      executor_(batch);
+    } else {
+      executor_(batch);
+    }
+  } catch (const std::exception& e) {
+    ok = false;
+    what = e.what();
+  } catch (...) {
+    ok = false;
+    what = "unknown exception";
+  }
+  tracer_.record_executed(batch.sequence(), static_cast<std::uint32_t>(participant), !ok);
+  tracer_.record(batch.sequence(), obs::Stage::kRemoved);
+  if (ok) {
+    batches_executed_metric_->add(1);
+    commands_executed_metric_->add(batch.size());
+    workers_[participant]->executed_metric->add(1);
+    note_success();
+  } else {
+    batches_failed_metric_->add(1);
+    note_failure();
+    if (on_failure_) on_failure_(batch, what);
+  }
+}
+
+void EarlyScheduler::rendezvous(std::size_t participant, Gate& gate,
+                                const smr::Batch& batch) {
+  const bool is_fallback = participant == num_class_workers();
+  std::unique_lock lk(gate.mu);
+  ++gate.arrived;
+  if (gate.arrived == gate.expected) gate.cv.notify_all();
+  gate.cv.wait(lk, [&] {
+    return gate.done ||
+           (participant == gate.leader && gate.arrived == gate.expected);
+  });
+  std::exception_ptr err;
+  if (!gate.done && participant == gate.leader) {
+    // Every touched participant has parked this batch at the head of its
+    // delivery-order stream: all predecessors that share a class (or an
+    // unclassified key) with it are done, so executing now is exactly
+    // where the single Scheduler would execute it. Run outside the lock.
+    lk.unlock();
+    bool ok = true;
+    std::string what;
+    try {
+      if (degraded_.load(std::memory_order_acquire)) {
+        std::lock_guard serial(serial_mu_);
+        executor_(batch);
+      } else {
+        executor_(batch);
+      }
+    } catch (...) {
+      ok = false;
+      err = std::current_exception();
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+        what = "unknown exception";
+      }
+    }
+    tracer_.record_executed(batch.sequence(),
+                            static_cast<std::uint32_t>(participant), !ok);
+    tracer_.record(batch.sequence(), obs::Stage::kRemoved);
+    if (ok) {
+      batches_executed_metric_->add(1);
+      commands_executed_metric_->add(batch.size());
+      if (!is_fallback) {
+        workers_[participant]->executed_metric->add(1);
+        note_success();
+      }
+    } else {
+      batches_failed_metric_->add(1);
+      if (!is_fallback) {
+        note_failure();
+        if (on_failure_) on_failure_(batch, what);
+        err = nullptr;  // accounted here; the worker loop survives anyway
+      }
+      // Fallback leader: rethrow below so the embedded engine isolates the
+      // fault, runs its circuit breaker, and fires the forwarded
+      // on_failure exactly once.
+    }
+    lk.lock();
+    gate.done = true;
+    gate.cv.notify_all();
+  }
+  const bool last = ++gate.departed == gate.expected;
+  lk.unlock();
+  if (last) {
+    std::lock_guard g(gates_mu_);
+    gates_.erase(batch.sequence());
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+void EarlyScheduler::note_success() {
+  std::lock_guard lk(circuit_mu_);
+  consecutive_failures_ = 0;
+  if (degraded_.load(std::memory_order_relaxed) &&
+      config_.circuit_recovery_threshold != 0 &&
+      ++consecutive_successes_ >= config_.circuit_recovery_threshold) {
+    degraded_.store(false, std::memory_order_release);
+    consecutive_successes_ = 0;
+    metrics_->counter("scheduler.circuit.recoveries").add(1);
+  }
+}
+
+void EarlyScheduler::note_failure() {
+  std::lock_guard lk(circuit_mu_);
+  consecutive_successes_ = 0;
+  if (config_.circuit_failure_threshold != 0 &&
+      !degraded_.load(std::memory_order_relaxed) &&
+      ++consecutive_failures_ >= config_.circuit_failure_threshold) {
+    degraded_.store(true, std::memory_order_release);
+    metrics_->counter("scheduler.circuit.trips").add(1);
+  }
+}
+
+void EarlyScheduler::complete_one() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  if (barrier_armed_.load(std::memory_order_acquire)) {
+    std::lock_guard lk(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void EarlyScheduler::begin_barrier(std::uint64_t seq) {
+  PSMR_CHECK(!barrier_armed_.load(std::memory_order_relaxed));
+  // Arm EVERYTHING before awaiting anything (ShardedScheduler's rule): no
+  // participant may start a batch newer than `seq`, while batches <= seq
+  // — including gated ones — stay runnable everywhere.
+  fallback_->begin_barrier(seq);
+  {
+    std::lock_guard lk(barrier_mu_);
+    barrier_seq_.store(seq, std::memory_order_relaxed);
+    barrier_armed_.store(true, std::memory_order_release);
+  }
+  metrics_->counter("scheduler.barriers").add(1);
+}
+
+void EarlyScheduler::await_barrier() {
+  PSMR_CHECK(barrier_armed_.load(std::memory_order_relaxed));
+  // Gated batches <= seq may need both sides; each side admits the whole
+  // <= seq prefix, so draining the graph first cannot deadlock against the
+  // class workers (delivery-order induction, DESIGN.md §13).
+  fallback_->await_barrier();
+  const std::uint64_t seq = barrier_seq_.load(std::memory_order_relaxed);
+  std::unique_lock lk(barrier_mu_);
+  barrier_cv_.wait(lk, [&] {
+    if (stopping_.load(std::memory_order_relaxed)) return true;
+    for (const auto& w : workers_) {
+      const bool quiesced = w->pending.load(std::memory_order_acquire) == 0 ||
+                            w->parked_seq.load(std::memory_order_acquire) > seq;
+      if (!quiesced) return false;
+    }
+    return true;
+  });
+}
+
+void EarlyScheduler::release_barrier() {
+  {
+    std::lock_guard lk(barrier_mu_);
+    if (!barrier_armed_.load(std::memory_order_relaxed)) {
+      fallback_->release_barrier();
+      return;
+    }
+    barrier_armed_.store(false, std::memory_order_release);
+  }
+  release_cv_.notify_all();
+  fallback_->release_barrier();
+}
+
+void EarlyScheduler::drain_to_sequence(std::uint64_t seq) {
+  begin_barrier(seq);
+  await_barrier();
+}
+
+void EarlyScheduler::wait_idle() {
+  {
+    std::unique_lock lk(idle_mu_);
+    idle_cv_.wait(lk, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Once the class workers are drained, the only remaining work is pure
+  // fallback (a gated batch stays outstanding in every touched class
+  // worker until its gate resolves, and resident in the graph until its
+  // wrapper returns).
+  fallback_->wait_idle();
+}
+
+void EarlyScheduler::stop() {
+  std::lock_guard lifecycle(lifecycle_mu_);
+  stopping_.store(true, std::memory_order_seq_cst);
+  // Unpark any barrier-held workers (contract: release_barrier() before
+  // stop(); tolerated anyway — stopping drains everything).
+  {
+    std::lock_guard lk(barrier_mu_);
+  }
+  release_cv_.notify_all();
+  barrier_cv_.notify_all();
+  for (auto& w : workers_) {
+    std::lock_guard lk(w->mu);
+    w->cv.notify_all();
+  }
+  // Class workers drain their queues (gates <= resolve because the
+  // fallback engine keeps running until its own stop below), then exit.
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  fallback_->stop();
+}
+
+bool EarlyScheduler::degraded() const {
+  return degraded_.load(std::memory_order_acquire) || fallback_->degraded();
+}
+
+obs::Snapshot EarlyScheduler::stats() const {
+  const auto fast = static_cast<double>(fast_path_metric_->value());
+  const auto total = static_cast<double>(batches_delivered_metric_->value());
+  metrics_->gauge("early.fast_path_fraction").set(total == 0.0 ? 0.0 : fast / total);
+  obs::Snapshot snap = metrics_->snapshot();
+  snap.merge(fallback_->stats(), "fallback.");
+  return snap;
+}
+
+void EarlyScheduler::check_invariants() const { fallback_->check_invariants(); }
+
+}  // namespace psmr::core

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/conflict.hpp"
+#include "smr/conflict_class.hpp"
 #include "util/assert.hpp"
 
 namespace psmr::obs {
@@ -58,6 +59,24 @@ struct SchedulerOptions {
   /// circuit as usual). 0 keeps the pre-recovery behaviour: once tripped,
   /// the scheduler stays sequential until restart.
   unsigned circuit_recovery_threshold = 0;
+
+  /// Conflict-class declarations for the EarlyScheduler (DESIGN.md §13).
+  /// null = the EarlyScheduler builds a uniform hash partition with one
+  /// class per worker. Ignored by the other variants. All replicas must
+  /// configure the identical map (like the bitmap hash config).
+  std::shared_ptr<const smr::ConflictClassMap> class_map;
+
+  /// Worker pool size of the EarlyScheduler's embedded graph engine, which
+  /// runs unclassified batches (the fallback path). 0 = same as `workers`.
+  /// Ignored by the other variants.
+  unsigned fallback_workers = 0;
+
+  /// ShardedScheduler only: resolve 2-shard rendezvous through a packed
+  /// atomic word (C++20 atomic wait/notify — a futex on Linux) instead of a
+  /// heap-allocated mutex+condvar gate. Identical semantics; the flag
+  /// exists so the bench can report before/after rows. ≥3-shard gates
+  /// always use the mutex+condvar path.
+  bool gate_word_fast_path = true;
 
   /// Ring capacity of the batch-lifecycle tracer (obs::BatchTracer),
   /// rounded up to a power of two. 0 disables tracing at runtime; building

@@ -33,6 +33,7 @@
 // balance is visible in the one psmr.metrics.v1 export.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -136,8 +137,32 @@ class ShardedScheduler {
     bool done = false;       // leader finished (successfully or not)
   };
 
+  /// Futex-style gate for the common 2-shard rendezvous
+  /// (SchedulerOptions::gate_word_fast_path): the whole gate state is one
+  /// packed atomic word driven by C++20 atomic wait/notify — no mutex, no
+  /// condvar, one cache line. Field layout (LSB first):
+  ///   bits  0..7   expected participants
+  ///   bits  8..15  leader shard index
+  ///   bit   16     done (leader finished, successfully or not)
+  ///   bits 24..31  arrived count
+  ///   bits 32..39  departed count
+  /// Counts fit 8 bits because shards <= 64. The participant whose
+  /// departure increment completes the count retires the gate; its last
+  /// access is its own RMW, so no participant can touch freed state.
+  struct WordGate {
+    std::atomic<std::uint64_t> word{0};
+  };
+
+  /// A registered gate is exactly one of the two shapes.
+  struct GateSlot {
+    std::shared_ptr<Gate> slow;
+    std::shared_ptr<WordGate> fast;
+  };
+
   void execute_as_shard(std::size_t shard_index, const smr::Batch& batch);
   void rendezvous(std::size_t shard_index, Gate& gate, const smr::Batch& batch);
+  void rendezvous_word(std::size_t shard_index, WordGate& gate,
+                       const smr::Batch& batch);
 
   SchedulerOptions config_;
   Executor executor_;
@@ -154,7 +179,7 @@ class ShardedScheduler {
   std::vector<std::unique_ptr<Scheduler>> shards_;
 
   std::mutex gates_mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Gate>> gates_;
+  std::unordered_map<std::uint64_t, GateSlot> gates_;
 };
 
 }  // namespace psmr::core

@@ -27,6 +27,20 @@ void Batch::build_shard_mask(unsigned shards) {
   shard_count_ = shards;
 }
 
+std::uint64_t compute_class_mask(const Batch& batch,
+                                 const ConflictClassMap& map) noexcept {
+  std::uint64_t mask = 0;
+  for (const Command& c : batch.commands()) {
+    mask |= map.class_mask_of(c);
+  }
+  return mask;
+}
+
+void Batch::build_class_mask(const ConflictClassMap& map) {
+  class_mask_ = compute_class_mask(*this, map);
+  class_fp_ = map.fingerprint();
+}
+
 void Batch::build_bitmap(const BitmapConfig& cfg) {
   split_rw_ = cfg.split_read_write;
   write_bloom_ = util::KeyBloom(cfg.bits, cfg.hashes, cfg.seed);

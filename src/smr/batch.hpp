@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "smr/command.hpp"
+#include "smr/conflict_class.hpp"
 #include "util/bloom.hpp"
 
 namespace psmr::smr {
@@ -94,6 +95,21 @@ class Batch {
   std::uint64_t shard_mask() const noexcept { return shard_mask_; }
   unsigned shard_count() const noexcept { return shard_count_; }
 
+  /// Builds the touched-conflict-class set under `map` (DESIGN.md §13):
+  /// bit c is set iff some command classifies as class c; bit 63
+  /// (ConflictClassMap::kUnclassifiedBit) iff some command matches no rule.
+  /// Computed at batch-formation time in the Proxy, exactly like
+  /// build_shard_mask — one pass over the commands, off the delivery
+  /// critical path. Idempotent.
+  void build_class_mask(const ConflictClassMap& map);
+
+  /// Touched-class bitmask and the fingerprint of the map it was computed
+  /// under (0 = build_class_mask never ran). The EarlyScheduler recomputes
+  /// on the spot when the fingerprint differs from its configured map —
+  /// correctness never depends on proxy/replica agreement, only cost does.
+  std::uint64_t class_mask() const noexcept { return class_mask_; }
+  std::uint64_t class_map_fingerprint() const noexcept { return class_fp_; }
+
  private:
   std::uint64_t sequence_ = 0;
   std::uint64_t proxy_id_ = 0;
@@ -104,6 +120,8 @@ class Batch {
   std::vector<std::uint32_t> positions_;
   std::uint64_t shard_mask_ = 0;
   unsigned shard_count_ = 0;
+  std::uint64_t class_mask_ = 0;
+  std::uint64_t class_fp_ = 0;
   bool split_rw_ = false;
 };
 
@@ -118,6 +136,12 @@ std::size_t shard_of_key(Key key, unsigned shards) noexcept;
 /// Used by the scheduler when a delivered batch carries no mask, or one
 /// computed for a different shard count.
 std::uint64_t compute_shard_mask(const Batch& batch, unsigned shards) noexcept;
+
+/// One-pass touched-class set of a batch (what build_class_mask caches).
+/// Used by the EarlyScheduler when a delivered batch carries no class
+/// stamp, or one computed under a different map.
+std::uint64_t compute_class_mask(const Batch& batch,
+                                 const ConflictClassMap& map) noexcept;
 
 /// Bitmap-based batch conflict test (paper lines 28–29): true iff the
 /// digests intersect, computed exactly as the paper's prototype does — a

@@ -69,6 +69,7 @@ Batch Proxy::build_batch() {
   batch.set_proxy_id(config_.proxy_id);
   if (config_.use_bitmap) batch.build_bitmap(config_.bitmap);
   if (config_.shards != 0) batch.build_shard_mask(config_.shards);
+  if (config_.class_map != nullptr) batch.build_class_mask(*config_.class_map);
   return batch;
 }
 

@@ -79,6 +79,13 @@ class Proxy {
     /// here at batch-formation time, off the delivery critical path, like
     /// the Bloom digest. 0 = skip (single-graph schedulers).
     unsigned shards = 0;
+    /// When set, each batch is also stamped with its touched-conflict-class
+    /// mask for the EarlyScheduler (Batch::build_class_mask) — the same
+    /// formation-time precomputation as the shard mask. Must be the
+    /// identical map the replicas configure (the scheduler recomputes on a
+    /// fingerprint mismatch, so a drifted proxy costs cycles, not
+    /// correctness). null = skip.
+    std::shared_ptr<const ConflictClassMap> class_map;
     /// Retransmission policy for lost batches/responses.
     RetryConfig retry;
   };

@@ -1,7 +1,7 @@
 // Lockstep checkpoint property suite (ISSUE 6 acceptance): replicas running
 // the SAME delivery sequence must produce BYTE-IDENTICAL checkpoint frames —
-// across the monitor Scheduler, the PipelinedScheduler and the
-// ShardedScheduler, and across scan vs indexed conflict detection. The
+// across the monitor Scheduler, the PipelinedScheduler, the ShardedScheduler
+// and the EarlyScheduler, and across scan vs indexed conflict detection. The
 // executor is the real replicated-state pair (KvStore + SessionTable), so
 // the property covers both record sections end to end.
 #include <gtest/gtest.h>
@@ -10,11 +10,13 @@
 #include <memory>
 #include <vector>
 
+#include "core/early_scheduler.hpp"
 #include "core/pipelined_scheduler.hpp"
 #include "core/scheduler.hpp"
 #include "core/sharded_scheduler.hpp"
 #include "kvstore/kvstore.hpp"
 #include "smr/checkpoint.hpp"
+#include "smr/conflict_class.hpp"
 #include "smr/session.hpp"
 #include "util/rng.hpp"
 
@@ -123,6 +125,18 @@ TEST(CheckpointLockstep, BitIdenticalAcrossSchedulersAndIndexModes) {
       scfg.workers = 2;
       scfg.shards = 4;
       results.push_back(run_variant<core::ShardedScheduler>(scfg, 4, stream));
+
+      // EarlyScheduler under both map shapes: a total uniform partition
+      // (every batch takes the class fast path) and a partial range map
+      // (the fresh-key tail quiesces through the embedded graph engine,
+      // exercising the two-sided barrier during every checkpoint).
+      results.push_back(run_variant<core::EarlyScheduler>(cfg, 0, stream));
+      core::SchedulerOptions ecfg = cfg;
+      auto map = std::make_shared<smr::ConflictClassMap>();
+      map->add_range(0, 7, 0);
+      map->add_range(8, 15, 1);
+      ecfg.class_map = std::move(map);
+      results.push_back(run_variant<core::EarlyScheduler>(ecfg, 0, stream));
     }
 
     const RunResult& reference = results.front();

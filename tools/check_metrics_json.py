@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a psmr.metrics.v1 export (DESIGN.md §10).
 
-Usage: check_metrics_json.py METRICS_file.json [more.json ...]
+Usage: check_metrics_json.py [--require=NAME ...] METRICS_file.json [more.json ...]
 
 Checks, per file:
   * parses as JSON and is an object;
@@ -11,7 +11,11 @@ Checks, per file:
   * `histograms` maps dotted names -> summary objects carrying exactly
     {count,min,max,mean,p50,p99,p999}, internally consistent
     (min <= p50 <= p99 <= p999 <= max whenever count > 0);
-  * metric names follow the `component.metric` dotted scheme.
+  * metric names follow the `component.metric` dotted scheme;
+  * every `--require=NAME` metric is present in some section — so a
+    fixture can assert that a specific export actually carries its
+    metric family (e.g. `early.*` for the early-scheduler run), not just
+    that the envelope parses.
 
 Exit status 0 when every file validates; 1 otherwise, with one line per
 problem on stderr. Stdlib only — runs anywhere CI has a python3.
@@ -36,7 +40,7 @@ def check_name(path, kind, name, problems):
         fail(path, f"{kind} name {name!r} violates the dotted naming scheme", problems)
 
 
-def check_file(path, problems):
+def check_file(path, problems, required=()):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -80,18 +84,33 @@ def check_file(path, problems):
         if h["count"] > 0 and not (h["min"] <= h["p50"] <= h["p99"] <= h["p999"] <= h["max"]):
             fail(path, f"histogram {name!r} quantiles are not ordered: {h}", problems)
 
+    present = set()
+    for section in ("counters", "gauges", "histograms"):
+        if isinstance(doc.get(section), dict):
+            present.update(doc[section])
+    for name in required:
+        if name not in present:
+            fail(path, f"required metric {name!r} is absent from the export", problems)
+
 
 def main(argv):
-    if len(argv) < 2:
+    required = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require="):
+            required.append(arg[len("--require="):])
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     problems = []
-    for path in argv[1:]:
-        check_file(path, problems)
+    for path in paths:
+        check_file(path, problems, required)
     for p in problems:
         print(p, file=sys.stderr)
     if not problems:
-        print(f"{len(argv) - 1} file(s) conform to {SCHEMA}")
+        print(f"{len(paths)} file(s) conform to {SCHEMA}")
     return 1 if problems else 0
 
 
