@@ -10,11 +10,16 @@ PaxosGroup::PaxosGroup(GroupConfig config)
     : config_(config),
       network_(std::make_unique<PaxosNetwork>(config.seed)),
       metrics_(std::make_shared<obs::MetricsRegistry>()),
-      broadcast_counter_(&metrics_->counter("consensus.broadcasts")) {
+      broadcast_counter_(&metrics_->counter("consensus.broadcasts")),
+      backpressure_waits_counter_(&metrics_->counter("consensus.backpressure_waits")) {
   PSMR_CHECK(config_.acceptors >= 1);
   PSMR_CHECK(config_.proposers >= 1);
+  PSMR_CHECK(config_.proposer_window >= 1);
   metrics_->gauge("consensus.acceptors").set(static_cast<double>(config_.acceptors));
   metrics_->gauge("consensus.proposers").set(static_cast<double>(config_.proposers));
+  metrics_->gauge("consensus.unacked").set(0.0);
+  metrics_->gauge("consensus.max_unacked_broadcasts")
+      .set(static_cast<double>(config_.max_unacked_broadcasts));
   network_->set_default_link(config_.default_link);
   client_endpoint_ = network_->register_process(kClientId);
 }
@@ -57,6 +62,7 @@ void PaxosGroup::start() {
     pcfg.heartbeat_interval = config_.heartbeat_interval;
     pcfg.election_timeout = config_.election_timeout;
     pcfg.retransmit_timeout = config_.retransmit_timeout;
+    pcfg.window = config_.proposer_window;
     pcfg.seed = config_.seed;
     proposer_roles_.push_back(std::make_unique<Proposer>(*network_, ep, pcfg));
   }
@@ -82,8 +88,18 @@ void PaxosGroup::client_loop() {
       if (const auto* decide = std::get_if<Decide>(&env->msg)) {
         std::uint64_t request_id = 0;
         if (peek_request_id(decide->value, request_id)) {
-          std::lock_guard lk(mu_);
-          unacked_.erase(request_id);
+          bool erased = false;
+          {
+            std::lock_guard lk(mu_);
+            erased = unacked_.erase(request_id) != 0;
+            if (erased) {
+              metrics_->gauge("consensus.unacked")
+                  .set(static_cast<double>(unacked_.size()));
+            }
+          }
+          // A decision drained a slot — release any broadcaster blocked on
+          // the max_unacked_broadcasts cap.
+          if (erased) unacked_cv_.notify_all();
         }
       }
     }
@@ -109,6 +125,7 @@ void PaxosGroup::stop() {
   // Stop roles before the network so their last sends hit a live object;
   // network_->shutdown() then releases anything blocked in recv.
   client_stop_.store(true, std::memory_order_relaxed);
+  unacked_cv_.notify_all();  // release broadcasters blocked on the cap
   if (client_thread_.joinable()) client_thread_.join();
   network_->shutdown();
   for (auto& p : proposer_roles_) p->stop();
@@ -156,8 +173,23 @@ void PaxosGroup::broadcast(Value payload) {
   const std::uint64_t request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   broadcast_counter_->add(1);
   {
-    std::lock_guard lk(mu_);
+    std::unique_lock lk(mu_);
+    if (config_.max_unacked_broadcasts != 0 &&
+        unacked_.size() >= config_.max_unacked_broadcasts) {
+      // Retransmit buffer full: block until decisions drain instead of
+      // growing without bound. Backpressure propagates to the caller (the
+      // consensus adapter / proxy), which is exactly where it belongs —
+      // everything past this point is already IN the order. stop() releases
+      // blocked broadcasters via client_stop_.
+      backpressure_waits_counter_->add(1);
+      unacked_cv_.wait(lk, [&] {
+        return client_stop_.load(std::memory_order_relaxed) ||
+               unacked_.size() < config_.max_unacked_broadcasts;
+      });
+      if (client_stop_.load(std::memory_order_relaxed)) return;
+    }
     unacked_.emplace(request_id, payload);
+    metrics_->gauge("consensus.unacked").set(static_cast<double>(unacked_.size()));
   }
   // Send to every proposer: the leader proposes, followers queue + forward,
   // so the request survives any single proposer failure. The client thread

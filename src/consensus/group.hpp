@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -76,6 +77,16 @@ struct GroupConfig {
   std::chrono::milliseconds heartbeat_interval{30};
   std::chrono::milliseconds election_timeout{150};
   std::chrono::milliseconds retransmit_timeout{60};
+  /// Phase-2 pipelining window per proposer (maximum undecided instances in
+  /// flight — ProposerConfig::window). Bounds the proposer's memory and the
+  /// burst it can dump on the acceptors.
+  std::size_t proposer_window = 128;
+  /// Cap on the client-side retransmit buffer (requests broadcast but not
+  /// yet observed decided). When full, broadcast() BLOCKS until decisions
+  /// drain — consensus applies backpressure to its caller instead of
+  /// buffering forever (`consensus.backpressure_waits` counts the stalls).
+  /// 0 = unbounded (the pre-PR-8 behaviour).
+  std::size_t max_unacked_broadcasts = 0;
 };
 
 class PaxosGroup final : public AtomicBroadcast {
@@ -86,6 +97,9 @@ class PaxosGroup final : public AtomicBroadcast {
   void subscribe(DeliverFn fn) override;
   void start() override;
   void stop() override;
+  /// Blocks while the unacked-retransmit buffer is at
+  /// GroupConfig::max_unacked_broadcasts (backpressure, not buffering);
+  /// returns immediately once the request is enqueued.
   void broadcast(Value payload) override;
 
   /// Registers an ADDITIONAL learner after start() — the recovery /
@@ -175,10 +189,13 @@ class PaxosGroup final : public AtomicBroadcast {
   // Requests not yet observed decided; the client thread retransmits them
   // until a Decide naming their id arrives (fair-lossy links demand sender
   // persistence — §II: "if a sender sends a message enough times, a correct
-  // receiver will eventually receive the message").
+  // receiver will eventually receive the message"). Bounded by
+  // max_unacked_broadcasts: broadcast() waits on unacked_cv_ while full.
   std::unordered_map<std::uint64_t, Value> unacked_;
+  std::condition_variable unacked_cv_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* broadcast_counter_;
+  obs::Counter* backpressure_waits_counter_;
   std::atomic<std::uint64_t> next_request_id_{1};
   bool started_ = false;
   std::atomic<bool> client_stop_{false};

@@ -1,0 +1,89 @@
+// Shared watermark/backpressure instrumentation for the delivery queues of
+// all four scheduler variants (DESIGN.md §14). Each variant owns one meter
+// (the ShardedScheduler's per-shard engines each own their own; they merge
+// under shard.N.backpressure.* like every other per-shard family).
+//
+// Thread-safety: update() and the wait/reject counters are called only from
+// the single delivery thread of the owning scheduler, which is the contract
+// everywhere deliver() already lives. The gauges/counters themselves are
+// registry handles and safe to snapshot concurrently.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace psmr::core {
+
+class BackpressureMeter {
+ public:
+  // All metrics are registered eagerly so they appear (at zero) in every
+  // snapshot — tools/check_metrics_json.py --require depends on that.
+  BackpressureMeter(obs::MetricsRegistry& registry, std::size_t capacity,
+                    double high_fraction, double low_fraction)
+      : waits_(registry.counter("backpressure.waits")),
+        rejects_(registry.counter("backpressure.rejects")),
+        deadline_expired_(registry.counter("backpressure.deadline_expired")),
+        crossings_(registry.counter("backpressure.high_watermark_crossings")),
+        wait_ns_(registry.histogram("backpressure.wait_ns")),
+        depth_(registry.gauge("backpressure.queue_depth")),
+        capacity_gauge_(registry.gauge("backpressure.capacity")),
+        high_gauge_(registry.gauge("backpressure.high_watermark")),
+        low_gauge_(registry.gauge("backpressure.low_watermark")),
+        above_high_(registry.gauge("backpressure.above_high")) {
+    capacity_gauge_.set(static_cast<double>(capacity));
+    if (capacity != 0) {
+      high_mark_ = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(capacity) * high_fraction));
+      low_mark_ = std::min(
+          high_mark_ - 1,
+          static_cast<std::size_t>(static_cast<double>(capacity) * low_fraction));
+    }
+    high_gauge_.set(static_cast<double>(high_mark_));
+    low_gauge_.set(static_cast<double>(low_mark_));
+  }
+
+  /// Publish the current resident depth and run the watermark hysteresis:
+  /// `above_high` flips to 1 at depth >= high mark and back to 0 only once
+  /// depth drains to <= low mark.
+  void update(std::size_t depth) {
+    depth_.set(static_cast<double>(depth));
+    if (high_mark_ == 0) return;  // unbounded queue: no watermark semantics
+    if (!above_) {
+      if (depth >= high_mark_) {
+        above_ = true;
+        above_high_.set(1);
+        crossings_.add(1);
+      }
+    } else if (depth <= low_mark_) {
+      above_ = false;
+      above_high_.set(0);
+    }
+  }
+
+  void count_wait(std::uint64_t wait_ns) {
+    waits_.add(1);
+    wait_ns_.record(wait_ns);
+  }
+  void count_reject() { rejects_.add(1); }
+  void count_deadline_expired() { deadline_expired_.add(1); }
+
+ private:
+  obs::Counter& waits_;
+  obs::Counter& rejects_;
+  obs::Counter& deadline_expired_;
+  obs::Counter& crossings_;
+  obs::HistogramMetric& wait_ns_;
+  obs::Gauge& depth_;
+  obs::Gauge& capacity_gauge_;
+  obs::Gauge& high_gauge_;
+  obs::Gauge& low_gauge_;
+  obs::Gauge& above_high_;
+  std::size_t high_mark_ = 0;
+  std::size_t low_mark_ = 0;
+  bool above_ = false;
+};
+
+}  // namespace psmr::core

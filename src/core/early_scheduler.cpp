@@ -26,7 +26,9 @@ EarlyScheduler::EarlyScheduler(SchedulerOptions options, Executor executor)
       multi_class_metric_(&metrics_->counter("early.batches_multi_class")),
       fallback_metric_(&metrics_->counter("early.batches_fallback")),
       queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
-      tracer_(config_.trace_capacity) {
+      tracer_(config_.trace_capacity),
+      bp_(*metrics_, config_.max_pending_batches, config_.high_watermark,
+          config_.low_watermark) {
   config_.validate();
   PSMR_CHECK(executor_ != nullptr);
   // Participant ids are class workers 0..W-1 plus the fallback engine at
@@ -41,6 +43,7 @@ EarlyScheduler::EarlyScheduler(SchedulerOptions options, Executor executor)
   const std::size_t cap = config_.max_pending_batches != 0
                               ? config_.max_pending_batches
                               : kDefaultQueueCapacity;
+  queue_capacity_ = cap;
   workers_.reserve(config_.workers);
   for (unsigned w = 0; w < config_.workers; ++w) {
     auto worker = std::make_unique<Worker>(cap);
@@ -148,6 +151,12 @@ bool EarlyScheduler::deliver(smr::BatchPtr batch) {
   const int touched = std::popcount(pset);
   const std::uint64_t fallback_bit = std::uint64_t{1} << num_class_workers();
 
+  // Secure capacity on every touched participant BEFORE pushing any leg —
+  // all-or-nothing admission, so the rejecting modes never strand a gate
+  // with some legs queued.
+  if (!wait_for_capacity(pset)) return false;
+  if (stopping_.load(std::memory_order_relaxed)) return false;
+
   if (touched == 1 && pset != fallback_bit) {
     // FAST PATH: one owning worker — the scheduling decision was made at
     // configuration time; delivery is a FIFO push.
@@ -156,6 +165,7 @@ bool EarlyScheduler::deliver(smr::BatchPtr batch) {
     tracer_.record(seq, obs::Stage::kInserted);
     batches_delivered_metric_->add(1);
     fast_path_metric_->add(1);
+    publish_depth();
     return true;
   }
   if (pset == fallback_bit) {
@@ -164,6 +174,7 @@ bool EarlyScheduler::deliver(smr::BatchPtr batch) {
     tracer_.record(seq, obs::Stage::kInserted);
     batches_delivered_metric_->add(1);
     fallback_metric_->add(1);
+    publish_depth();
     return true;
   }
   // MULTI-CLASS (and/or mixed classified+unclassified): register the
@@ -198,6 +209,73 @@ bool EarlyScheduler::deliver(smr::BatchPtr batch) {
   if ((mask & smr::ConflictClassMap::kUnclassifiedBit) != 0) {
     fallback_metric_->add(1);
   }
+  publish_depth();
+  return true;
+}
+
+void EarlyScheduler::publish_depth() {
+  std::uint64_t deepest = 0;
+  for (const auto& w : workers_) {
+    deepest = std::max(deepest, w->pending.load(std::memory_order_relaxed));
+  }
+  bp_.update(static_cast<std::size_t>(deepest));
+}
+
+bool EarlyScheduler::wait_for_capacity(std::uint64_t pset) {
+  const std::uint64_t fallback_bit = std::uint64_t{1} << num_class_workers();
+  if (config_.max_pending_batches != 0) {
+    // `pending` counts pushed-but-uncompleted items, an upper bound on ring
+    // occupancy — conservative, so a push after this check cannot find the
+    // ring full in the rejecting modes.
+    const auto workers_have_space = [&] {
+      for (std::uint64_t rest = pset & (fallback_bit - 1); rest != 0;
+           rest &= rest - 1) {
+        const auto w = static_cast<std::size_t>(std::countr_zero(rest));
+        if (workers_[w]->pending.load(std::memory_order_acquire) >= queue_capacity_) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!workers_have_space()) {
+      switch (config_.backpressure) {
+        case BackpressureMode::kReject:
+          bp_.count_reject();
+          return false;
+        case BackpressureMode::kBlockWithDeadline: {
+          const std::uint64_t t0 = util::now_ns();
+          const std::uint64_t deadline_ns =
+              t0 + static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           config_.backpressure_deadline)
+                           .count());
+          while (!workers_have_space()) {
+            if (stopping_.load(std::memory_order_relaxed)) return false;
+            if (util::now_ns() >= deadline_ns) {
+              bp_.count_wait(util::now_ns() - t0);
+              bp_.count_deadline_expired();
+              return false;
+            }
+            std::this_thread::yield();
+          }
+          bp_.count_wait(util::now_ns() - t0);
+          break;
+        }
+        case BackpressureMode::kBlock: {
+          const std::uint64_t t0 = util::now_ns();
+          while (!workers_have_space()) {
+            if (stopping_.load(std::memory_order_relaxed)) return false;
+            std::this_thread::yield();
+          }
+          bp_.count_wait(util::now_ns() - t0);
+          break;
+        }
+      }
+    }
+  }
+  // The fallback engine applies its own (identically configured) policy;
+  // space it grants persists because this thread is its sole inserter.
+  if ((pset & fallback_bit) != 0) return fallback_->wait_for_space();
   return true;
 }
 

@@ -54,6 +54,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/backpressure.hpp"
 #include "core/scheduler.hpp"
 #include "core/scheduler_options.hpp"
 #include "obs/metrics.hpp"
@@ -88,8 +89,11 @@ class EarlyScheduler {
   /// Hands over the next batch in atomic-broadcast order. MUST be called
   /// from one delivery thread in sequence order — per-worker FIFOs are
   /// delivery-order subsequences, which is the determinism argument.
-  /// Blocks (backpressure) when a touched worker's queue is full. Returns
-  /// false after stop().
+  /// When a touched worker's queue (or the fallback graph) is full, the
+  /// SchedulerOptions::backpressure mode decides: block, block up to the
+  /// deadline, or reject. Capacity is secured on EVERY touched participant
+  /// before any leg is pushed, so a rejected batch leaves no orphaned gate
+  /// legs. Returns false after stop() or on reject/deadline expiry.
   bool deliver(smr::BatchPtr batch);
 
   /// Blocks until every delivered batch has executed everywhere.
@@ -178,6 +182,12 @@ class EarlyScheduler {
   void run_leader(std::size_t participant, const smr::Batch& batch);
   void rendezvous(std::size_t participant, Gate& gate, const smr::Batch& batch);
   void push_item(std::size_t w, Item item);
+  /// Runs the configured backpressure policy over the class-worker legs of
+  /// `pset` (the fallback leg delegates to fallback_->wait_for_space()).
+  /// Returns false when the batch must be rejected. Delivery thread only.
+  bool wait_for_capacity(std::uint64_t pset);
+  /// Publishes the deepest class-worker queue into the meter.
+  void publish_depth();
   void note_success();
   void note_failure();
   void complete_one();
@@ -200,6 +210,10 @@ class EarlyScheduler {
   obs::Counter* fallback_metric_;
   obs::HistogramMetric* queue_wait_metric_;
   obs::BatchTracer tracer_;
+  // Updated only from the delivery thread (under lifecycle_mu_); depth is
+  // the deepest class-worker queue, the binding resource of this variant.
+  BackpressureMeter bp_;
+  std::size_t queue_capacity_ = 0;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Scheduler> fallback_;

@@ -27,6 +27,8 @@ PipelinedScheduler::PipelinedScheduler(SchedulerOptions options, Executor execut
       batches_failed_metric_(&metrics_->counter("scheduler.batches_failed")),
       queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
       tracer_(config_.trace_capacity),
+      bp_(*metrics_, config_.max_pending_batches, config_.high_watermark,
+          config_.low_watermark),
       graph_(config_.mode, config_.index) {
   config_.validate();
   PSMR_CHECK(executor_ != nullptr);
@@ -56,16 +58,45 @@ bool PipelinedScheduler::deliver(smr::BatchPtr batch) {
   PSMR_CHECK(batch->sequence() != 0);
   if (config_.max_pending_batches != 0) {
     std::unique_lock lk(idle_mu_);
-    idle_cv_.wait(lk, [&] {
+    const auto have = [&] {
       return stopping_.load(std::memory_order_relaxed) ||
              outstanding_.load(std::memory_order_relaxed) < config_.max_pending_batches;
-    });
+    };
+    if (!have()) {
+      switch (config_.backpressure) {
+        case BackpressureMode::kReject:
+          bp_.count_reject();
+          return false;
+        case BackpressureMode::kBlockWithDeadline: {
+          const std::uint64_t t0 = util::now_ns();
+          const bool got = idle_cv_.wait_for(lk, config_.backpressure_deadline, have);
+          bp_.count_wait(util::now_ns() - t0);
+          if (!got) {
+            bp_.count_deadline_expired();
+            return false;
+          }
+          break;
+        }
+        case BackpressureMode::kBlock: {
+          const std::uint64_t t0 = util::now_ns();
+          idle_cv_.wait(lk, have);
+          bp_.count_wait(util::now_ns() - t0);
+          break;
+        }
+      }
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    // Admit under the lock: the watermark state machine is serialized on
+    // idle_mu_ against the completion path's update below.
+    bp_.update(outstanding_.fetch_add(1, std::memory_order_relaxed) + 1);
+  } else {
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    bp_.update(outstanding_.load(std::memory_order_relaxed));  // gauge only
   }
-  if (stopping_.load(std::memory_order_relaxed)) return false;
   // Stamp the lifecycle start before the probe computation so preparation
   // and event-queue time are visible as delivered → inserted latency.
   tracer_.begin(batch->sequence());
-  outstanding_.fetch_add(1, std::memory_order_relaxed);
   if (!events_.push(Event{Delivery{graph_.prepare(std::move(batch))}})) {
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
     return false;
@@ -242,6 +273,7 @@ void PipelinedScheduler::scheduler_loop() {
         // caught between its predicate check and cv wait cannot miss the
         // wakeup.
         std::lock_guard lk(idle_mu_);
+        bp_.update(outstanding_.load(std::memory_order_relaxed));
         idle_cv_.notify_all();
       }
     }

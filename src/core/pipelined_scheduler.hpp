@@ -36,6 +36,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/backpressure.hpp"
 #include "core/dependency_graph.hpp"
 #include "core/scheduler_options.hpp"
 #include "obs/metrics.hpp"
@@ -63,6 +64,11 @@ class PipelinedScheduler {
   PipelinedScheduler& operator=(const PipelinedScheduler&) = delete;
 
   void start();
+
+  /// Same backpressure contract as Scheduler::deliver(): with
+  /// max_pending_batches set, the SchedulerOptions::backpressure mode
+  /// decides whether a full pipeline blocks, blocks up to the deadline, or
+  /// rejects (returns false without consuming the batch).
   bool deliver(smr::BatchPtr batch);
   void wait_idle();
   void stop();
@@ -141,6 +147,10 @@ class PipelinedScheduler {
   obs::HistogramMetric* queue_wait_metric_;
   std::vector<obs::Counter*> worker_batches_metric_;
   obs::BatchTracer tracer_;
+  // Watermark/hysteresis updates run under idle_mu_ when a bound is set
+  // (delivery admits, scheduler-thread completions); with no bound only the
+  // depth gauge is touched, which is atomic.
+  BackpressureMeter bp_;
 
   util::BlockingQueue<Event> events_;
   util::BlockingQueue<DependencyGraph::Node*> ready_;

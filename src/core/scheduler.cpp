@@ -28,6 +28,8 @@ Scheduler::Scheduler(SchedulerOptions options, Executor executor)
       batches_failed_metric_(&metrics_->counter("scheduler.batches_failed")),
       queue_wait_metric_(&metrics_->histogram("scheduler.queue_wait_ns")),
       tracer_(config_.trace_capacity),
+      bp_(*metrics_, config_.max_pending_batches, config_.high_watermark,
+          config_.low_watermark),
       graph_(config_.mode, config_.index) {
   config_.validate();
   PSMR_CHECK(executor_ != nullptr);
@@ -57,27 +59,66 @@ bool Scheduler::deliver(smr::BatchPtr batch) {
   PSMR_CHECK(batch->sequence() != 0);  // assigned by the total order
   // The lifecycle record starts at the scheduler's doorstep, before any
   // preparation or queueing — backpressure waits show up as delivered →
-  // inserted gaps.
+  // inserted gaps (a rejected batch leaves a delivered-only record).
   tracer_.begin(batch->sequence());
+  // Queue space is secured BEFORE prepare(): the delivery thread is the
+  // sole inserter and workers only shrink the graph, so space observed in
+  // wait_for_space() still exists at the insert below. Checking first also
+  // keeps the rejecting modes from consuming the caller's batch.
+  if (!wait_for_space()) return false;
   // Probe metadata (position hashing / digest positions) is computed BEFORE
   // taking the monitor — prepare() is const and reads only the immutable
   // configuration — so the serialized section pays only for the index
   // lookup and the candidate tests.
   DependencyGraph::Prepared probe = graph_.prepare(std::move(batch));
   std::unique_lock lk(mu_);
-  if (config_.max_pending_batches != 0) {
-    space_free_.wait(lk, [&] {
-      return stopping_ || graph_.size() < config_.max_pending_batches;
-    });
-  }
   if (stopping_) return false;
   graph_.insert(std::move(probe));
+  bp_.update(graph_.size());
   batches_delivered_metric_->add(1);
   // The new batch may be immediately free; wake one worker (line 14–16:
   // the scheduler keeps delivering, workers pull).
   lk.unlock();
   batch_ready_.notify_one();
   return true;
+}
+
+bool Scheduler::has_space() const {
+  if (config_.max_pending_batches == 0) return true;
+  std::lock_guard lk(mu_);
+  return graph_.size() < config_.max_pending_batches;
+}
+
+bool Scheduler::wait_for_space() {
+  if (config_.max_pending_batches == 0) return true;
+  std::unique_lock lk(mu_);
+  const auto have = [&] {
+    return stopping_ || graph_.size() < config_.max_pending_batches;
+  };
+  if (!have()) {
+    switch (config_.backpressure) {
+      case BackpressureMode::kReject:
+        bp_.count_reject();
+        return false;
+      case BackpressureMode::kBlockWithDeadline: {
+        const std::uint64_t t0 = util::now_ns();
+        const bool got = space_free_.wait_for(lk, config_.backpressure_deadline, have);
+        bp_.count_wait(util::now_ns() - t0);
+        if (!got) {
+          bp_.count_deadline_expired();
+          return false;
+        }
+        break;
+      }
+      case BackpressureMode::kBlock: {
+        const std::uint64_t t0 = util::now_ns();
+        space_free_.wait(lk, have);
+        bp_.count_wait(util::now_ns() - t0);
+        break;
+      }
+    }
+  }
+  return !stopping_;
 }
 
 void Scheduler::wait_idle() {
@@ -243,6 +284,7 @@ void Scheduler::worker_loop(unsigned worker_index) {
     if (!ok && on_failure_) on_failure_(*batch, what);
     lk.lock();
     const std::size_t freed = graph_.remove(node);
+    bp_.update(graph_.size());
     // Counter bumps happen under mu_ so a wait_idle()-then-stats() caller
     // observes every increment (the idle notify below synchronizes).
     bool recovered_now = false;

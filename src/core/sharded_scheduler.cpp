@@ -71,6 +71,19 @@ bool ShardedScheduler::deliver(smr::BatchPtr batch) {
                            : smr::compute_shard_mask(*batch, S);
   if (mask == 0) mask = 1;  // empty batch: route to shard 0
   const int touched = std::popcount(mask);
+  if (touched > 1) {
+    // Secure queue space in EVERY touched shard before inserting any leg:
+    // with a rejecting backpressure mode, a batch turned away after a
+    // partial insert would leave its rendezvous gate unresolvable and the
+    // inserted legs wedged behind it. wait_for_space() runs each engine's
+    // configured policy; the space it secures persists because this
+    // delivery thread is the sole inserter everywhere. (The single-shard
+    // path needs no pre-check — the engine's own deliver() is atomic.)
+    for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+      const auto s = static_cast<std::size_t>(std::countr_zero(rest));
+      if (!shards_[s]->wait_for_space()) return false;
+    }
+  }
   if (touched == 1) {
     // Fast path: the whole batch lives in one shard — no gate, no shared
     // state beyond that shard's own monitor.

@@ -59,10 +59,18 @@ class Endpoint {
   /// Blocks until a message arrives or the network shuts down (nullopt).
   std::optional<Envelope<M>> recv() { return inbox_.pop(); }
 
-  /// Blocks up to `timeout`; nullopt on timeout or shutdown.
+  /// Blocks up to `timeout`; nullopt on timeout or shutdown. Deadline-
+  /// anchored (BlockingQueue::pop_until): spurious wakeups re-enter the
+  /// wait with the original deadline, never return early.
   template <typename Rep, typename Period>
   std::optional<Envelope<M>> recv_for(std::chrono::duration<Rep, Period> timeout) {
     return inbox_.pop_for(timeout);
+  }
+
+  /// Blocks until an absolute deadline; nullopt on timeout or shutdown.
+  template <typename ClockT, typename Dur>
+  std::optional<Envelope<M>> recv_until(std::chrono::time_point<ClockT, Dur> deadline) {
+    return inbox_.pop_until(deadline);
   }
 
   std::optional<Envelope<M>> try_recv() { return inbox_.try_pop(); }
@@ -168,6 +176,16 @@ class Network {
         it = endpoints_.find(to);
         if (it == endpoints_.end()) return false;
       } else {
+        if (heap_.size() >= pacer_capacity_) {
+          // Timer heap at capacity: shed the OLDEST pending delivery (the
+          // heap top — the one due soonest) to admit the new one. Dropping
+          // is always legal on a fair-lossy link; bounding the heap is what
+          // keeps a delay-heavy overload from growing pacer memory without
+          // limit. Retransmission recovers whatever mattered.
+          heap_.pop();
+          ++pacer_shed_;
+          ++dropped_;
+        }
         heap_.push(Delayed{util::now_ns() + delay_us * 1000, seq_++,
                            Envelope<M>{from, to, msg}});
         pacer_cv_.notify_one();
@@ -205,6 +223,21 @@ class Network {
   std::uint64_t messages_duplicated() const {
     std::lock_guard lk(mu_);
     return duplicated_;
+  }
+
+  /// Delayed messages shed because the pacer timer heap hit its capacity
+  /// (each also counts into messages_dropped()).
+  std::uint64_t pacer_shed() const {
+    std::lock_guard lk(mu_);
+    return pacer_shed_;
+  }
+
+  /// Caps the pacer timer heap (delayed in-flight messages). Oldest-first
+  /// shedding kicks in at the cap. Must be >= 1.
+  void set_pacer_capacity(std::size_t capacity) {
+    std::lock_guard lk(mu_);
+    PSMR_CHECK(capacity >= 1);
+    pacer_capacity_ = capacity;
   }
 
  private:
@@ -276,6 +309,8 @@ class Network {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t pacer_shed_ = 0;
+  std::size_t pacer_capacity_ = std::size_t{1} << 16;
   bool shutdown_ = false;
   std::thread pacer_;
 };

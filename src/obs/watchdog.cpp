@@ -1,0 +1,174 @@
+#include "obs/watchdog.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace psmr::obs {
+
+Watchdog::Watchdog(Config config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<MetricsRegistry>()),
+      checks_metric_(metrics_->counter("watchdog.checks")),
+      stalls_metric_(metrics_->counter("watchdog.stalls")),
+      stalled_gauge_(metrics_->gauge("watchdog.stalled")),
+      stages_gauge_(metrics_->gauge("watchdog.stages")) {
+  PSMR_CHECK(config_.poll_interval.count() > 0);
+  PSMR_CHECK(config_.stall_deadline.count() > 0);
+  if (config_.log_sink == nullptr) {
+    config_.log_sink = [](const std::string& report) {
+      std::fputs(report.c_str(), stderr);
+      std::fputc('\n', stderr);
+    };
+  }
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::add_stage(std::string name, ProgressFn progress, BusyFn busy) {
+  PSMR_CHECK(progress != nullptr && busy != nullptr);
+  std::lock_guard lk(mu_);
+  PSMR_CHECK(!started_);
+  Stage stage;
+  stage.name = std::move(name);
+  stage.progress = std::move(progress);
+  stage.busy = std::move(busy);
+  stages_.push_back(std::move(stage));
+  stages_gauge_.set(static_cast<double>(stages_.size()));
+}
+
+void Watchdog::start() {
+  {
+    std::lock_guard lk(mu_);
+    PSMR_CHECK(!started_);
+    started_ = true;
+    // Baseline every stage NOW so pre-start idle time never counts toward
+    // the first deadline.
+    const std::uint64_t now = util::now_ns();
+    for (Stage& s : stages_) {
+      s.last_value = s.progress();
+      s.last_change_ns = now;
+    }
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::poke() {
+  std::lock_guard lk(mu_);
+  check(util::now_ns());
+}
+
+void Watchdog::run() {
+  std::unique_lock lk(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lk, config_.poll_interval, [&] { return stopping_; });
+    if (stopping_) return;
+    check(util::now_ns());
+  }
+}
+
+void Watchdog::check(std::uint64_t now_ns) {
+  // mu_ held. The callbacks run under it — they must not call back into the
+  // watchdog (they are plain reads of counters/atomics everywhere we wire
+  // them).
+  checks_metric_.add(1);
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(config_.stall_deadline)
+              .count());
+  std::size_t stalled_count = 0;
+  for (Stage& stage : stages_) {
+    const std::uint64_t value = stage.progress();
+    const bool busy = stage.busy();
+    if (value != stage.last_value || !busy) {
+      // Progress (or nothing to do): healthy. Re-arm the episode latch so a
+      // LATER stall fires a fresh report.
+      stage.last_value = value;
+      stage.last_change_ns = now_ns;
+      stage.stalled = false;
+      continue;
+    }
+    if (stage.last_change_ns == 0) stage.last_change_ns = now_ns;  // unbaselined
+    if (now_ns - stage.last_change_ns < deadline_ns) {
+      if (stage.stalled) ++stalled_count;
+      continue;
+    }
+    if (!stage.stalled) {
+      // Transition into the stalled state: one report + one hook per
+      // episode.
+      stage.stalled = true;
+      stalls_metric_.add(1);
+      config_.log_sink(build_report(stage, now_ns));
+      if (config_.on_stall) config_.on_stall(stage.name, stage.last_value);
+    }
+    ++stalled_count;
+  }
+  stalled_gauge_.set(static_cast<double>(stalled_count));
+}
+
+std::string Watchdog::build_report(const Stage& culprit, std::uint64_t now_ns) {
+  std::string out;
+  out += "=== psmr watchdog: stage '" + culprit.name + "' stalled ===\n";
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "no progress for %" PRIu64 " ms (deadline %lld ms); stuck at %" PRIu64
+                "\n",
+                (now_ns - culprit.last_change_ns) / 1000000u,
+                static_cast<long long>(config_.stall_deadline.count()),
+                culprit.last_value);
+  out += line;
+  out += "stages:\n";
+  for (const Stage& s : stages_) {
+    std::snprintf(line, sizeof line,
+                  "  %-24s progress=%-12" PRIu64 " busy=%d idle_ms=%" PRIu64
+                  " stalled=%d\n",
+                  s.name.c_str(), s.progress(), s.busy() ? 1 : 0,
+                  (now_ns - s.last_change_ns) / 1000000u, s.stalled ? 1 : 0);
+    out += line;
+  }
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    const auto records = config_.tracer->completed();
+    std::snprintf(line, sizeof line,
+                  "tracer: %zu completed records (started=%" PRIu64 ", evicted=%" PRIu64
+                  "), most recent:\n",
+                  records.size(), config_.tracer->started(),
+                  config_.tracer->evicted());
+    out += line;
+    const std::size_t show = records.size() < 8 ? records.size() : 8;
+    for (std::size_t i = records.size() - show; i < records.size(); ++i) {
+      const BatchTrace& r = records[i];
+      // `Stage` in this scope is Watchdog::Stage; the tracer's stage enum
+      // needs full qualification.
+      using TraceStage = ::psmr::obs::Stage;
+      std::snprintf(line, sizeof line,
+                    "  seq=%-8" PRIu64 " worker=%u failed=%d exec_ns=%" PRIu64 "\n",
+                    r.seq, r.worker, r.failed ? 1 : 0,
+                    r.at(TraceStage::kExecuted) > r.at(TraceStage::kDelivered)
+                        ? r.at(TraceStage::kExecuted) - r.at(TraceStage::kDelivered)
+                        : 0);
+      out += line;
+    }
+  }
+  if (config_.snapshot != nullptr) {
+    out += "metrics snapshot:\n";
+    out += config_.snapshot();
+    out += "\n";
+  }
+  out += "=== end watchdog report ===";
+  return out;
+}
+
+}  // namespace psmr::obs

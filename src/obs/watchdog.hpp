@@ -1,0 +1,122 @@
+// Liveness watchdog (DESIGN.md §14): turns silent stalls — wedged
+// rendezvous gates, parked workers, a tripped breaker that never recovers,
+// a deliver() blocked forever on a full queue — into actionable reports.
+//
+// The watchdog polls a set of STAGES. Each stage exposes a monotonic
+// progress reading (e.g. scheduler.batches_executed) and a busy predicate
+// (work outstanding?). A stage is STALLED when it has been continuously
+// busy with no progress change for the configured stall deadline; on the
+// transition into the stalled state the watchdog dumps a diagnostic report
+// (per-stage progress table, optional metrics snapshot, optional
+// BatchTracer ring summary) to the log sink and fires the recovery hook —
+// once per stall episode, re-arming when progress resumes.
+//
+// The watchdog only ever READS from the monitored components, through the
+// callbacks it is given; it takes no scheduler locks of its own, so it can
+// report on a wedged system without joining the deadlock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace psmr::obs {
+
+class Watchdog {
+ public:
+  /// Monotonic progress reading for one stage (counter value, executed
+  /// sequence, ...). Must be safe to call from the watchdog thread.
+  using ProgressFn = std::function<std::uint64_t()>;
+  /// Whether the stage currently has outstanding work. An idle stage (busy
+  /// = false) is never considered stalled, whatever its progress reading.
+  using BusyFn = std::function<bool()>;
+  /// Recovery hook: fired once per stall episode, after the report dump,
+  /// with the stalled stage's name and its stuck progress value.
+  using StallHook = std::function<void(const std::string&, std::uint64_t)>;
+  /// Where reports go. Default sink writes to stderr.
+  using LogSink = std::function<void(const std::string&)>;
+  /// Extra diagnostics appended to the report (e.g. a metrics snapshot's
+  /// to_json()); called on the watchdog thread at dump time.
+  using SnapshotFn = std::function<std::string()>;
+
+  struct Config {
+    std::chrono::milliseconds poll_interval{50};
+    /// How long a busy stage may go without progress before it is declared
+    /// stalled.
+    std::chrono::milliseconds stall_deadline{1000};
+    /// Registry for `watchdog.*` metrics. null = private registry.
+    std::shared_ptr<MetricsRegistry> metrics;
+    /// Optional report enrichment.
+    SnapshotFn snapshot;
+    const BatchTracer* tracer = nullptr;
+    StallHook on_stall;
+    LogSink log_sink;
+  };
+
+  explicit Watchdog(Config config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a monitored stage. Call before start().
+  void add_stage(std::string name, ProgressFn progress, BusyFn busy);
+
+  /// Launches the polling thread. Idempotent guard: call exactly once.
+  void start();
+
+  /// Stops and joins the polling thread. Idempotent.
+  void stop();
+
+  /// Runs one check synchronously on the caller's thread — deterministic
+  /// test hook (usable without start()); also handy right before a forced
+  /// shutdown to capture a last report.
+  void poke();
+
+  /// Stall episodes detected so far (across all stages).
+  std::uint64_t stalls_fired() const { return stalls_metric_.value(); }
+
+  obs::Snapshot stats() const { return metrics_->snapshot(); }
+  const std::shared_ptr<MetricsRegistry>& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  struct Stage {
+    std::string name;
+    ProgressFn progress;
+    BusyFn busy;
+    std::uint64_t last_value = 0;
+    std::uint64_t last_change_ns = 0;
+    bool stalled = false;
+  };
+
+  void run();
+  void check(std::uint64_t now_ns);
+  std::string build_report(const Stage& stage, std::uint64_t now_ns);
+
+  Config config_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+  Counter& checks_metric_;
+  Counter& stalls_metric_;
+  Gauge& stalled_gauge_;
+  Gauge& stages_gauge_;
+
+  mutable std::mutex mu_;  // guards stages_ and the loop rendezvous
+  std::condition_variable cv_;
+  std::vector<Stage> stages_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace psmr::obs

@@ -1,0 +1,76 @@
+#include "smr/admission.hpp"
+
+#include "util/assert.hpp"
+
+namespace psmr::smr {
+
+AdmissionController::AdmissionController(Config config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      admitted_metric_(metrics_->counter("admission.admitted")),
+      rejected_metric_(metrics_->counter("admission.rejected")),
+      rejected_client_cap_metric_(metrics_->counter("admission.rejected_client_cap")),
+      inflight_gauge_(metrics_->gauge("admission.inflight")) {
+  PSMR_CHECK(config_.retry_after_base.count() > 0);
+  PSMR_CHECK(config_.retry_after_max >= config_.retry_after_base);
+  metrics_->gauge("admission.global_credits")
+      .set(static_cast<double>(config_.global_credits));
+  metrics_->gauge("admission.per_client_inflight")
+      .set(static_cast<double>(config_.per_client_inflight));
+}
+
+AdmissionController::Decision AdmissionController::try_admit(std::uint64_t principal,
+                                                             std::uint64_t commands) {
+  PSMR_CHECK(commands > 0);
+  std::lock_guard lk(mu_);
+  const bool global_ok =
+      config_.global_credits == 0 || inflight_ + commands <= config_.global_credits;
+  bool client_ok = true;
+  if (config_.per_client_inflight != 0) {
+    const auto it = per_client_.find(principal);
+    const std::uint64_t current = it != per_client_.end() ? it->second : 0;
+    client_ok = current + commands <= config_.per_client_inflight;
+  }
+  if (global_ok && client_ok) {
+    inflight_ += commands;
+    if (config_.per_client_inflight != 0) per_client_[principal] += commands;
+    admitted_metric_.add(commands);
+    inflight_gauge_.set(static_cast<double>(inflight_));
+    return Decision{true, std::chrono::milliseconds{0}};
+  }
+  rejected_metric_.add(commands);
+  if (!client_ok) rejected_client_cap_metric_.add(commands);
+  // Retry-after grows with oversubscription pressure: base when the budget
+  // is merely full, multiples of base when it is N-deep oversubscribed.
+  // The computation is a pure function of the controller state — no clocks
+  // or randomness — so tests (and replayed workloads) see stable hints.
+  std::uint64_t pressure = 1;
+  if (config_.global_credits != 0) {
+    pressure = (inflight_ + commands + config_.global_credits - 1) /
+               config_.global_credits;
+  }
+  auto hint = config_.retry_after_base * static_cast<std::int64_t>(pressure);
+  if (hint > config_.retry_after_max) hint = config_.retry_after_max;
+  return Decision{false, std::chrono::duration_cast<std::chrono::milliseconds>(hint)};
+}
+
+void AdmissionController::release(std::uint64_t principal, std::uint64_t commands) {
+  std::lock_guard lk(mu_);
+  PSMR_CHECK(inflight_ >= commands);
+  inflight_ -= commands;
+  if (config_.per_client_inflight != 0) {
+    const auto it = per_client_.find(principal);
+    PSMR_CHECK(it != per_client_.end() && it->second >= commands);
+    it->second -= commands;
+    if (it->second == 0) per_client_.erase(it);
+  }
+  inflight_gauge_.set(static_cast<double>(inflight_));
+}
+
+std::uint64_t AdmissionController::inflight() const {
+  std::lock_guard lk(mu_);
+  return inflight_;
+}
+
+}  // namespace psmr::smr

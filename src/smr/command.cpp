@@ -18,6 +18,7 @@ const char* to_string(Status s) noexcept {
     case Status::kNotFound: return "not_found";
     case Status::kAlreadyExists: return "already_exists";
     case Status::kFailed: return "failed";
+    case Status::kOverloaded: return "overloaded";
   }
   return "?";
 }

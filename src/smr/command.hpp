@@ -64,6 +64,12 @@ enum class Status : std::uint8_t {
   /// still run). Deterministic services throw deterministically, so every
   /// replica reports the same failures.
   kFailed = 3,
+  /// Shed by admission control BEFORE atomic broadcast (DESIGN.md §14):
+  /// the command was never ordered, never reached any replica, and had no
+  /// effect anywhere — so replicas stay bit-identical regardless of which
+  /// proxy shed it. Carries a retry-after hint in Response::value
+  /// (milliseconds) for the client's backoff.
+  kOverloaded = 4,
 };
 
 const char* to_string(Status s) noexcept;

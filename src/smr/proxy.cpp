@@ -21,8 +21,12 @@ Proxy::Proxy(Config config, CommandSource source, BroadcastFn broadcast)
                                       ".retransmits")),
       batches_abandoned_(&metrics_->counter("proxy." + std::to_string(config.proxy_id) +
                                             ".batches_abandoned")),
+      admission_rejections_(&metrics_->counter(
+          "proxy." + std::to_string(config.proxy_id) + ".admission_rejections")),
       latency_(&metrics_->histogram("proxy." + std::to_string(config.proxy_id) +
-                                    ".latency_ns")) {
+                                    ".latency_ns")),
+      admission_wait_ns_(&metrics_->histogram("proxy." + std::to_string(config.proxy_id) +
+                                              ".admission_wait_ns")) {
   metrics_->gauge("proxy." + std::to_string(config_.proxy_id) + ".batch_size")
       .set(static_cast<double>(config_.batch_size));
   PSMR_CHECK(config_.batch_size >= 1);
@@ -84,6 +88,47 @@ void Proxy::run_loop() {
   const RetryConfig& retry = config_.retry;
   std::unique_lock lk(mu_);
   while (!stop_) {
+    // Pre-order admission (DESIGN.md §14): acquire credits for the whole
+    // batch BEFORE it can reach the total order. A rejection is the
+    // kOverloaded answer a real client would get; the wait below is that
+    // client's backoff between re-asks.
+    const std::uint64_t n_admit = config_.batch_size;
+    bool holds_credits = false;
+    if (config_.admission != nullptr) {
+      const std::uint64_t adm_t0 = util::now_ns();
+      std::chrono::nanoseconds prev{0};
+      while (!stop_) {
+        const AdmissionController::Decision decision =
+            config_.admission->try_admit(config_.proxy_id, n_admit);
+        if (decision.admitted) {
+          holds_credits = true;
+          break;
+        }
+        admission_rejections_->add(1);
+        std::chrono::nanoseconds wait;
+        if (config_.honor_retry_after) {
+          // Decorrelated jitter: uniform in [hint, 3·previous wait], capped
+          // at the retry ceiling — grows away from the server's hint
+          // without synchronizing the re-ask times of rejected clients.
+          const auto hint =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(decision.retry_after);
+          const std::uint64_t lo = static_cast<std::uint64_t>(hint.count());
+          const std::uint64_t hi = std::max<std::uint64_t>(
+              lo, static_cast<std::uint64_t>(prev.count()) * 3);
+          wait = std::chrono::nanoseconds(lo + jitter_rng_.next_below(hi - lo + 1));
+          const auto cap = std::chrono::duration_cast<std::chrono::nanoseconds>(retry.max);
+          if (wait > cap) wait = cap;
+          prev = wait;
+        } else {
+          // Naive client: ignores the hint, hammers on the ordinary retry
+          // cadence — the storm the satellite regression test measures.
+          wait = std::chrono::duration_cast<std::chrono::nanoseconds>(retry.initial);
+        }
+        all_done_.wait_for(lk, wait, [&] { return stop_; });
+      }
+      admission_wait_ns_->record(util::now_ns() - adm_t0);
+      if (!holds_credits) break;  // stopped while shedding
+    }
     lk.unlock();
     const Batch proto = build_batch();  // kept for retransmission
     const std::size_t n = proto.size();
@@ -137,6 +182,9 @@ void Proxy::run_loop() {
     } else if (abandoned) {
       batches_abandoned_->add(1);
     }
+    // Credits return on every exit from the batch (completed, abandoned, or
+    // stopped mid-flight) — exactly once per successful try_admit.
+    if (holds_credits) config_.admission->release(config_.proxy_id, n_admit);
     // stop_ is re-checked by the while condition (still under mu_).
   }
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "smr/admission.hpp"
 #include "smr/batch.hpp"
 #include "smr/command.hpp"
 #include "stats/histogram.hpp"
@@ -88,6 +89,20 @@ class Proxy {
     std::shared_ptr<const ConflictClassMap> class_map;
     /// Retransmission policy for lost batches/responses.
     RetryConfig retry;
+    /// Pre-order admission control (DESIGN.md §14): when set, every batch
+    /// acquires credits BEFORE broadcast and releases them when the batch
+    /// completes (or is abandoned). A rejected acquisition = the server's
+    /// kOverloaded answer; the proxy backs off per `honor_retry_after` and
+    /// tries again — nothing sheds after the order. Shared across proxies
+    /// fronting one ingress. null = no admission control.
+    std::shared_ptr<AdmissionController> admission;
+    /// true (default): back off by the rejection's retry-after hint with
+    /// decorrelated jitter (AWS-style: uniform in [hint, 3·previous],
+    /// capped at retry.max) — overload pushes the retry load DOWN.
+    /// false: naive client, re-asks on the fixed retry.initial cadence
+    /// regardless of the hint — reproduces retry-storm amplification for
+    /// the regression test.
+    bool honor_retry_after = true;
   };
 
   Proxy(Config config, CommandSource source, BroadcastFn broadcast);
@@ -121,6 +136,11 @@ class Proxy {
   /// Batches given up on after RetryConfig::max_attempts sends.
   std::uint64_t batches_abandoned() const noexcept {
     return batches_abandoned_->value();
+  }
+  /// Admission rejections observed (each is one kOverloaded answer; a batch
+  /// may collect several before finally being admitted).
+  std::uint64_t admission_rejections() const noexcept {
+    return admission_rejections_->value();
   }
 
   /// Batch round-trip latency (ns), recorded per completed batch. Returns a
@@ -164,7 +184,9 @@ class Proxy {
   obs::Counter* batches_completed_;
   obs::Counter* retransmits_;
   obs::Counter* batches_abandoned_;
+  obs::Counter* admission_rejections_;
   obs::HistogramMetric* latency_;
+  obs::HistogramMetric* admission_wait_ns_;
   std::thread thread_;
 };
 

@@ -7,6 +7,7 @@
 // psmr.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -69,12 +70,23 @@ class BlockingQueue {
     return v;
   }
 
-  /// Blocks with a deadline; nullopt on timeout or closed-and-drained.
-  template <typename Rep, typename Period>
-  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+  /// Blocks until an ABSOLUTE deadline; nullopt on timeout or
+  /// closed-and-drained. Anchoring to the deadline (rather than a relative
+  /// timeout restarted per wait) makes the total wait immune to spurious
+  /// wakeups: however many times the wait is interrupted, it re-enters with
+  /// the same deadline and never returns early with time still on the
+  /// clock.
+  template <typename ClockT, typename Dur>
+  std::optional<T> pop_until(std::chrono::time_point<ClockT, Dur> deadline) {
     std::unique_lock lk(mu_);
-    if (!not_empty_.wait_for(lk, timeout, [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.wait_until(lk, deadline,
+                                [&] { return closed_ || !items_.empty(); })) {
+        break;  // predicate satisfied
+      }
+      // Predicate false after wait_until returned — only a genuine deadline
+      // pass ends the wait empty-handed; anything else loops back in.
+      if (ClockT::now() >= deadline) return std::nullopt;
     }
     if (items_.empty()) return std::nullopt;
     std::optional<T> v(std::move(items_.front()));
@@ -82,6 +94,14 @@ class BlockingQueue {
     lk.unlock();
     not_full_.notify_one();
     return v;
+  }
+
+  /// Blocks with a relative timeout; nullopt on timeout or
+  /// closed-and-drained. Delegates to pop_until so the deadline is computed
+  /// ONCE up front.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    return pop_until(std::chrono::steady_clock::now() + timeout);
   }
 
   void close() {

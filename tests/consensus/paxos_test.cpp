@@ -322,6 +322,77 @@ TEST(PaxosGroup, LateLearnerCatchesUpFromInstanceOne) {
   EXPECT_EQ(late.snapshot(), original.snapshot());
 }
 
+TEST(PaxosGroup, BoundedProposerPipelineBlocksBroadcastAtCap) {
+  // DESIGN.md §14: with max_unacked_broadcasts set, broadcast() becomes a
+  // backpressure point — when the group cannot decide (here: proposer cut
+  // off from every acceptor), the (cap+1)-th broadcast must BLOCK instead
+  // of growing the retransmit buffer without bound, then complete once the
+  // partition heals and the pipeline drains.
+  GroupConfig cfg;
+  cfg.proposers = 1;
+  cfg.max_unacked_broadcasts = 4;
+  PaxosGroup group(cfg);
+  Sink sink;
+  group.subscribe(sink.fn());
+  group.start();
+  group.broadcast(payload_of(1));
+  ASSERT_TRUE(eventually([&] { return sink.size() >= 1; }));
+
+  for (net::ProcessId acceptor : {200u, 201u, 202u}) {
+    group.network().set_link_up(100, acceptor, false);
+  }
+  // Fill the pipeline to its cap (nothing decides, nothing is acked).
+  for (std::uint64_t i = 2; i <= 5; ++i) group.broadcast(payload_of(i));
+
+  std::atomic<bool> unblocked{false};
+  std::thread blocked([&] {
+    group.broadcast(payload_of(6));  // cap reached: must block here
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(200ms);
+  EXPECT_FALSE(unblocked.load()) << "broadcast did not block at the cap";
+  EXPECT_GE(group.stats().counter("consensus.backpressure_waits"), 1u);
+
+  // Heal: retransmission decides the backlog, acks drain the pipeline, and
+  // the blocked broadcaster gets its slot.
+  for (net::ProcessId acceptor : {200u, 201u, 202u}) {
+    group.network().set_link_up(100, acceptor, true);
+  }
+  ASSERT_TRUE(eventually([&] { return unblocked.load(); }, 15000ms));
+  blocked.join();
+  ASSERT_TRUE(eventually([&] { return sink.size() >= 6; }, 15000ms));
+  std::set<std::uint64_t> values;
+  for (const auto& [seq, v] : sink.snapshot()) values.insert(v);
+  for (std::uint64_t i = 1; i <= 6; ++i) EXPECT_TRUE(values.contains(i)) << i;
+  group.stop();
+}
+
+TEST(PaxosGroup, StopReleasesBroadcasterBlockedOnFullPipeline) {
+  // Shutdown liveness: a broadcaster parked on the backpressure cv must be
+  // released by stop() rather than wedging the process.
+  GroupConfig cfg;
+  cfg.proposers = 1;
+  cfg.max_unacked_broadcasts = 2;
+  PaxosGroup group(cfg);
+  Sink sink;
+  group.subscribe(sink.fn());
+  group.start();
+  for (net::ProcessId acceptor : {200u, 201u, 202u}) {
+    group.network().set_link_up(100, acceptor, false);
+  }
+  for (std::uint64_t i = 1; i <= 2; ++i) group.broadcast(payload_of(i));
+  std::atomic<bool> unblocked{false};
+  std::thread blocked([&] {
+    group.broadcast(payload_of(3));
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(unblocked.load());
+  group.stop();
+  blocked.join();
+  EXPECT_TRUE(unblocked.load());
+}
+
 TEST(PaxosGroup, FiveAcceptorsTolerateTwoCrashes) {
   GroupConfig cfg;
   cfg.acceptors = 5;  // f = 2

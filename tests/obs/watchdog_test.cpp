@@ -1,0 +1,140 @@
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace psmr::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Most tests drive the watchdog deterministically through poke() (which
+// runs one check synchronously) instead of racing its polling thread.
+
+TEST(Watchdog, NoStallWhileProgressAdvances) {
+  std::atomic<std::uint64_t> progress{0};
+  Watchdog::Config cfg;
+  cfg.stall_deadline = 30ms;
+  Watchdog wd(cfg);
+  wd.add_stage(
+      "exec", [&] { return progress.load(); }, [] { return true; });
+  for (int i = 0; i < 5; ++i) {
+    progress.fetch_add(1);
+    std::this_thread::sleep_for(15ms);
+    wd.poke();
+  }
+  EXPECT_EQ(wd.stalls_fired(), 0u);
+}
+
+TEST(Watchdog, IdleStageNeverStalls) {
+  Watchdog::Config cfg;
+  cfg.stall_deadline = 10ms;
+  Watchdog wd(cfg);
+  wd.add_stage(
+      "idle", [] { return std::uint64_t{7}; }, [] { return false; });
+  std::this_thread::sleep_for(30ms);
+  wd.poke();
+  wd.poke();
+  EXPECT_EQ(wd.stalls_fired(), 0u);
+}
+
+TEST(Watchdog, StallFiresOncePerEpisodeAndRearms) {
+  std::atomic<std::uint64_t> progress{0};
+  std::vector<std::string> hooks;
+  std::vector<std::string> reports;
+  Watchdog::Config cfg;
+  cfg.stall_deadline = 20ms;
+  cfg.on_stall = [&hooks](const std::string& name, std::uint64_t) {
+    hooks.push_back(name);
+  };
+  cfg.log_sink = [&reports](const std::string& r) { reports.push_back(r); };
+  Watchdog wd(cfg);
+  wd.add_stage(
+      "exec", [&] { return progress.load(); }, [] { return true; });
+
+  wd.poke();  // baseline
+  std::this_thread::sleep_for(40ms);
+  wd.poke();  // past deadline, busy, no progress -> stall
+  wd.poke();  // same episode: no second report
+  EXPECT_EQ(wd.stalls_fired(), 1u);
+  ASSERT_EQ(hooks.size(), 1u);
+  EXPECT_EQ(hooks[0], "exec");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("exec"), std::string::npos);
+  EXPECT_NE(reports[0].find("stalled"), std::string::npos);
+
+  // Progress re-arms; a LATER stall is a fresh episode.
+  progress.fetch_add(1);
+  wd.poke();
+  std::this_thread::sleep_for(40ms);
+  wd.poke();
+  EXPECT_EQ(wd.stalls_fired(), 2u);
+  EXPECT_EQ(hooks.size(), 2u);
+}
+
+TEST(Watchdog, ReportCarriesSnapshotAndAllStages) {
+  std::string report;
+  Watchdog::Config cfg;
+  cfg.stall_deadline = 10ms;
+  cfg.snapshot = [] { return std::string("SNAPSHOT-SENTINEL"); };
+  cfg.log_sink = [&report](const std::string& r) { report = r; };
+  Watchdog wd(cfg);
+  wd.add_stage(
+      "stuck", [] { return std::uint64_t{3}; }, [] { return true; });
+  wd.add_stage(
+      "healthy-idle", [] { return std::uint64_t{9}; }, [] { return false; });
+  wd.poke();
+  std::this_thread::sleep_for(25ms);
+  wd.poke();
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("stuck"), std::string::npos);
+  EXPECT_NE(report.find("healthy-idle"), std::string::npos);
+  EXPECT_NE(report.find("SNAPSHOT-SENTINEL"), std::string::npos);
+}
+
+TEST(Watchdog, MetricsExportChecksAndStalls) {
+  Watchdog::Config cfg;
+  cfg.stall_deadline = 10ms;
+  cfg.log_sink = [](const std::string&) {};
+  Watchdog wd(cfg);
+  wd.add_stage(
+      "exec", [] { return std::uint64_t{1}; }, [] { return true; });
+  wd.poke();
+  std::this_thread::sleep_for(25ms);
+  wd.poke();
+  const auto snap = wd.stats();
+  EXPECT_EQ(snap.counter("watchdog.checks"), 2u);
+  EXPECT_EQ(snap.counter("watchdog.stalls"), 1u);
+  EXPECT_EQ(snap.gauge("watchdog.stalled"), 1.0);
+  EXPECT_EQ(snap.gauge("watchdog.stages"), 1.0);
+}
+
+TEST(Watchdog, BackgroundThreadDetectsStall) {
+  std::atomic<int> hook_count{0};
+  Watchdog::Config cfg;
+  cfg.poll_interval = 5ms;
+  cfg.stall_deadline = 25ms;
+  cfg.log_sink = [](const std::string&) {};
+  cfg.on_stall = [&hook_count](const std::string&, std::uint64_t) {
+    hook_count.fetch_add(1);
+  };
+  Watchdog wd(cfg);
+  wd.add_stage(
+      "exec", [] { return std::uint64_t{42}; }, [] { return true; });
+  wd.start();
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (hook_count.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  wd.stop();
+  EXPECT_EQ(hook_count.load(), 1);
+  EXPECT_EQ(wd.stalls_fired(), 1u);
+}
+
+}  // namespace
+}  // namespace psmr::obs

@@ -1,0 +1,135 @@
+#include "smr/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace psmr::smr {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Admission, AdmitsWithinGlobalBudget) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 10;
+  AdmissionController ac(cfg);
+  EXPECT_TRUE(ac.try_admit(1, 4).admitted);
+  EXPECT_TRUE(ac.try_admit(2, 6).admitted);
+  EXPECT_EQ(ac.inflight(), 10u);
+  EXPECT_FALSE(ac.try_admit(3, 1).admitted);
+}
+
+TEST(Admission, ReleaseReturnsCredits) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 5;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.try_admit(1, 5).admitted);
+  EXPECT_FALSE(ac.try_admit(2, 1).admitted);
+  ac.release(1, 5);
+  EXPECT_EQ(ac.inflight(), 0u);
+  EXPECT_TRUE(ac.try_admit(2, 1).admitted);
+}
+
+TEST(Admission, AllOrNothing) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 10;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.try_admit(1, 8).admitted);
+  // 2 credits remain; a 4-command request must be rejected whole, not
+  // partially admitted.
+  EXPECT_FALSE(ac.try_admit(2, 4).admitted);
+  EXPECT_EQ(ac.inflight(), 8u);
+  EXPECT_TRUE(ac.try_admit(2, 2).admitted);
+}
+
+TEST(Admission, PerClientCapIsIndependentOfGlobalBudget) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 100;
+  cfg.per_client_inflight = 3;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.try_admit(7, 3).admitted);
+  EXPECT_FALSE(ac.try_admit(7, 1).admitted);  // client 7 at its cap
+  EXPECT_TRUE(ac.try_admit(8, 3).admitted);   // other clients unaffected
+  ac.release(7, 3);
+  EXPECT_TRUE(ac.try_admit(7, 1).admitted);
+}
+
+TEST(Admission, RetryAfterHintGrowsWithPressureAndIsCapped) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 4;
+  cfg.retry_after_base = 5ms;
+  cfg.retry_after_max = 40ms;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.try_admit(1, 4).admitted);
+
+  const auto mild = ac.try_admit(2, 4);
+  ASSERT_FALSE(mild.admitted);
+  EXPECT_GE(mild.retry_after, cfg.retry_after_base);
+
+  const auto severe = ac.try_admit(2, 100);  // far more oversubscribed
+  ASSERT_FALSE(severe.admitted);
+  EXPECT_GE(severe.retry_after, mild.retry_after);
+  EXPECT_LE(severe.retry_after, cfg.retry_after_max);
+}
+
+TEST(Admission, HintIsDeterministic) {
+  // The hint is a pure function of the controller's state — identical
+  // rejections must produce identical hints (replicated ingresses can shed
+  // identically; no clocks, no randomness).
+  AdmissionController::Config cfg;
+  cfg.global_credits = 4;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.try_admit(1, 4).admitted);
+  const auto a = ac.try_admit(2, 2);
+  const auto b = ac.try_admit(2, 2);
+  ASSERT_FALSE(a.admitted);
+  ASSERT_FALSE(b.admitted);
+  EXPECT_EQ(a.retry_after, b.retry_after);
+}
+
+TEST(Admission, UnlimitedWhenZeroCredits) {
+  AdmissionController::Config cfg;  // both limits default 0 = unlimited
+  AdmissionController ac(cfg);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(ac.try_admit(1, 100).admitted);
+}
+
+TEST(Admission, MetricsAccountAdmissionsAndRejections) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 2;
+  cfg.per_client_inflight = 1;
+  AdmissionController ac(cfg);
+  ASSERT_TRUE(ac.try_admit(1, 1).admitted);
+  ASSERT_FALSE(ac.try_admit(1, 1).admitted);  // client cap
+  ASSERT_TRUE(ac.try_admit(2, 1).admitted);
+  ASSERT_FALSE(ac.try_admit(3, 1).admitted);  // global budget
+
+  const auto snap = ac.stats();
+  EXPECT_EQ(snap.counter("admission.admitted"), 2u);
+  EXPECT_EQ(snap.counter("admission.rejected"), 2u);
+  EXPECT_EQ(snap.counter("admission.rejected_client_cap"), 1u);
+  EXPECT_EQ(snap.gauge("admission.inflight"), 2.0);
+  EXPECT_EQ(snap.gauge("admission.global_credits"), 2.0);
+}
+
+TEST(Admission, ConcurrentAdmitReleaseBalances) {
+  AdmissionController::Config cfg;
+  cfg.global_credits = 64;
+  AdmissionController ac(cfg);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&ac, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (ac.try_admit(static_cast<std::uint64_t>(t), 2).admitted) {
+          ac.release(static_cast<std::uint64_t>(t), 2);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ac.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace psmr::smr

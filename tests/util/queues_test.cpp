@@ -205,5 +205,70 @@ TEST(BlockingQueue, TryPushRespectsCapacity) {
   EXPECT_FALSE(q.try_push(2));
 }
 
+TEST(BlockingQueue, PopUntilPastDeadlineReturnsImmediately) {
+  BlockingQueue<int> q;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_until(t0 - std::chrono::seconds(1)).has_value());
+  // Must not have waited the "negative" duration out as an unsigned value.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(100));
+}
+
+TEST(BlockingQueue, PopUntilDrainsAvailableItemEvenPastDeadline) {
+  // The deadline gates WAITING, not draining: an item already queued is
+  // returned even when the deadline has long passed.
+  BlockingQueue<int> q;
+  q.push(7);
+  const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(*q.pop_until(past), 7);
+}
+
+TEST(BlockingQueue, PopUntilReturnsItemPushedBeforeDeadline) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(42);
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  EXPECT_EQ(*q.pop_until(deadline), 42);
+  t.join();
+}
+
+TEST(BlockingQueue, PopUntilDeadlineIsAnchoredNotRestarted) {
+  // A stream of wakeups that never leaves an item for us (a racing consumer
+  // steals each one) must NOT push the deadline out: pop_until re-waits on
+  // the ORIGINAL deadline after every wakeup, so it returns on time.
+  BlockingQueue<int> q;
+  std::atomic<bool> stop{false};
+  std::thread noise([&] {
+    while (!stop.load()) {
+      q.push(1);
+      // Steal it back so the victim's predicate flickers true->false.
+      q.try_pop();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  // The victim may win a race and grab an item — either outcome is fine;
+  // what matters is that it is back by (deadline + small slack).
+  (void)q.pop_until(t0 + std::chrono::milliseconds(60));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+  stop.store(true);
+  noise.join();
+}
+
+TEST(BlockingQueue, CloseWakesPopUntil) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_until(deadline).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+  t.join();
+}
+
 }  // namespace
 }  // namespace psmr::util
