@@ -121,10 +121,10 @@ inline HarnessResult run_throughput(const HarnessConfig& cfg) {
   for (unsigned p = 0; p < cfg.proxies; ++p) {
     smr::Proxy::Config pcfg;
     pcfg.proxy_id = p;
-    pcfg.batch_size = cfg.batch_size;
+    pcfg.formation.batch_size = cfg.batch_size;
     pcfg.num_clients = 1024;  // keeps client_id -> proxy mapping trivial
-    pcfg.use_bitmap = cfg.use_bitmap;
-    pcfg.bitmap = bitmap;
+    pcfg.formation.use_bitmap = cfg.use_bitmap;
+    pcfg.formation.bitmap = bitmap;
     workload::Generator* gen = generators[p].get();
     const std::uint32_t overhead = cfg.broadcast_overhead_ns;
     proxies.push_back(std::make_unique<smr::Proxy>(

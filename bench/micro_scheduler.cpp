@@ -14,6 +14,7 @@
 #include <cstring>
 #include <iterator>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "core/sharded_scheduler.hpp"
 #include "kvstore/kvstore.hpp"
 #include "obs/metrics.hpp"
+#include "smr/batch_former.hpp"
 #include "smr/checkpoint.hpp"
 #include "smr/codec.hpp"
 #include "smr/conflict_class.hpp"
@@ -750,6 +752,237 @@ void write_zipf_rows(FILE* f, bool smoke, double extra_theta) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Shared bench-file scaffolding for the single-mode entry points (--shards,
+// --early, --zipf-theta, --checkpoints, --former). Every mode opens its file
+// with the same resolved-configuration header — bench name, smoke flag,
+// optional schema tag, and a "config" object naming exactly what runs — so
+// headers are printed by ONE function and cannot drift from the measurement
+// loops. The psmr.metrics.v1 export is likewise written by one helper.
+// ---------------------------------------------------------------------------
+
+FILE* open_bench_file(const char* path, const char* bench, bool smoke,
+                      const char* schema, const std::string& config_json) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return nullptr;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
+  if (schema != nullptr) std::fprintf(f, "  \"schema\": \"%s\",\n", schema);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  if (!config_json.empty()) {
+    std::fprintf(f, "  \"config\": %s,\n", config_json.c_str());
+  }
+  return f;
+}
+
+int write_metrics_export(const char* path, const psmr::obs::Snapshot& snap) {
+  if (path == nullptr) return 0;
+  FILE* mf = std::fopen(path, "w");
+  if (mf == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  const std::string json = snap.to_json();
+  std::fwrite(json.data(), 1, json.size(), mf);
+  std::fputc('\n', mf);
+  std::fclose(mf);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `--former` mode (ISSUE 9): affinity-aware batch formation vs the paper's
+// oblivious append-until-full packing, swept over Zipf skew. The fractions
+// that gate the downstream fast paths — multi_class_fraction for the early
+// scheduler, cross_shard_fraction for the sharded gate — are computed from
+// the FORMED batches' stamps, and the formed stream is then delivered
+// through the EarlyScheduler so the throughput column shows what formation
+// buys (theta=0) and what it costs where it cannot help (theta=0.99).
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kFormationWorkers = 4;
+constexpr unsigned kFormationShards = 4;
+constexpr std::size_t kFormationBatchSize = 16;
+constexpr std::uint64_t kFormationUniverse = 1ull << 20;
+constexpr double kFormationThetas[] = {0.0, 0.5, 0.99};
+
+struct FormationMeasurement {
+  std::size_t batches_formed = 0;
+  double avg_batch_fill = 0.0;
+  double multi_class_fraction = 0.0;
+  double cross_shard_fraction = 0.0;
+  double delivery_kcmds_per_sec = 0.0;
+  psmr::obs::Snapshot final_metrics;
+};
+
+/// Runs `n_commands` Zipf-drawn commands through a BatchFormer under the
+/// given policy (4-class contiguous-range map over a 2^20 universe, S=4
+/// shard stamping), then delivers the formed stream through the
+/// EarlyScheduler with sentinel-pinned workers — identical plumbing for both
+/// policies, so the rows differ only in packing.
+FormationMeasurement measure_formation(psmr::smr::FormationPolicy policy,
+                                       double theta, std::size_t n_commands) {
+  const std::uint64_t span = kFormationUniverse / kFormationWorkers;
+  auto map = std::make_shared<psmr::smr::ConflictClassMap>();
+  for (unsigned c = 0; c < kFormationWorkers; ++c) {
+    map->add_range(c * span, (c + 1) * span - 1, c);
+  }
+
+  auto registry = std::make_shared<psmr::obs::MetricsRegistry>();
+  psmr::smr::BatchFormer::Config fcfg;
+  fcfg.policy = policy;
+  fcfg.batch_size = kFormationBatchSize;
+  fcfg.placement = psmr::smr::PlacementMaps{kFormationShards, map};
+  fcfg.metrics = registry;
+  psmr::smr::BatchFormer former(std::move(fcfg));
+
+  psmr::util::ZipfGenerator zipf(kFormationUniverse, theta);
+  psmr::util::Xoshiro256 rng(0xf0241ull +
+                             static_cast<std::uint64_t>(theta * 1000.0));
+  std::vector<psmr::smr::Batch> formed;
+  for (std::size_t i = 0; i < n_commands; ++i) {
+    psmr::smr::Command c;
+    c.type = psmr::smr::OpType::kUpdate;
+    c.key = zipf(rng);
+    c.value = i;
+    former.offer(c, formed);
+  }
+  former.drain(formed);
+
+  FormationMeasurement m;
+  m.batches_formed = formed.size();
+  std::size_t multi = 0, cross = 0;
+  for (const psmr::smr::Batch& b : formed) {
+    if (__builtin_popcountll(b.class_mask()) > 1) ++multi;
+    if (__builtin_popcountll(b.shard_mask()) > 1) ++cross;
+  }
+  if (!formed.empty()) {
+    const auto n = static_cast<double>(formed.size());
+    m.avg_batch_fill = static_cast<double>(n_commands) / n;
+    m.multi_class_fraction = static_cast<double>(multi) / n;
+    m.cross_shard_fraction = static_cast<double>(cross) / n;
+  }
+
+  // Sentinel-pinned delivery of the formed stream (same harness as the
+  // early/zipf measurements): one in-class sentinel per worker, then the
+  // timed loop over every formed batch.
+  std::uint64_t seq = 0;
+  std::vector<psmr::smr::BatchPtr> pinned;
+  for (unsigned w = 0; w < kFormationWorkers; ++w) {
+    std::vector<psmr::smr::Command> cmds(1);
+    cmds[0].type = psmr::smr::OpType::kUpdate;
+    cmds[0].key = w * span;
+    auto b = std::make_shared<psmr::smr::Batch>(std::move(cmds));
+    b->set_sequence(++seq);
+    b->stamp(psmr::smr::PlacementMaps{kFormationShards, map});
+    pinned.push_back(std::move(b));
+  }
+  std::vector<psmr::smr::BatchPtr> stream;
+  stream.reserve(formed.size());
+  for (psmr::smr::Batch& b : formed) {
+    auto p = std::make_shared<psmr::smr::Batch>(std::move(b));
+    p->set_sequence(++seq);
+    stream.push_back(std::move(p));
+  }
+
+  std::atomic<bool> release{false};
+  psmr::core::SchedulerOptions opts;
+  opts.workers = kFormationWorkers;
+  opts.mode = ConflictMode::kKeysNested;
+  opts.index = IndexMode::kIndexed;
+  opts.class_map = map;
+  opts.metrics = registry;  // former.* + scheduler.* + early.* in one export
+  psmr::core::EarlyScheduler scheduler(
+      std::move(opts), [&release](const psmr::smr::Batch& b) {
+        if (b.sequence() <= kFormationWorkers) {
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        }
+      });
+  scheduler.start();
+  for (auto& b : pinned) scheduler.deliver(std::move(b));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& b : stream) scheduler.deliver(std::move(b));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  release.store(true, std::memory_order_release);
+  scheduler.wait_idle();
+  m.final_metrics = scheduler.stats();
+  scheduler.stop();
+  m.delivery_kcmds_per_sec = static_cast<double>(n_commands) / secs / 1000.0;
+  return m;
+}
+
+/// The formation sweep rows: theta x policy, oblivious first per theta so
+/// readers (and tools/check_bench_formation_json.py) can compare pairs.
+void write_formation_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metrics) {
+  const std::size_t n_commands = smoke ? 16000 : 160000;
+  bool first = true;
+  for (const double theta : kFormationThetas) {
+    for (const psmr::smr::FormationPolicy policy :
+         {psmr::smr::FormationPolicy::kOblivious,
+          psmr::smr::FormationPolicy::kAffinity}) {
+      const FormationMeasurement m = measure_formation(policy, theta, n_commands);
+      std::fprintf(f,
+                   "%s    {\"zipf_theta\": %.2f, \"policy\": \"%s\", "
+                   "\"workers\": %u, \"shards\": %u, \"batch_size\": %zu, "
+                   "\"commands\": %zu, \"batches_formed\": %zu, "
+                   "\"avg_batch_fill\": %.2f, \"multi_class_fraction\": %.4f, "
+                   "\"cross_shard_fraction\": %.4f, "
+                   "\"delivery_kcmds_per_sec\": %.1f}",
+                   first ? "" : ",\n", theta, psmr::smr::to_string(policy),
+                   kFormationWorkers, kFormationShards, kFormationBatchSize,
+                   n_commands, m.batches_formed, m.avg_batch_fill,
+                   m.multi_class_fraction, m.cross_shard_fraction,
+                   m.delivery_kcmds_per_sec);
+      first = false;
+      std::printf("formation    theta=%.2f %-9s: %6zu batches, fill %5.2f, "
+                  "multi-class %.4f, cross-shard %.4f, %10.1f kCmds/s\n",
+                  theta, psmr::smr::to_string(policy), m.batches_formed,
+                  m.avg_batch_fill, m.multi_class_fraction,
+                  m.cross_shard_fraction, m.delivery_kcmds_per_sec);
+      if (last_metrics != nullptr) *last_metrics = m.final_metrics;
+    }
+  }
+}
+
+std::string formation_config_json() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"workers\": %u, \"shards\": %u, \"batch_size\": %zu, "
+                "\"classes\": %u, \"key_universe\": %llu, "
+                "\"policies\": [\"oblivious\", \"affinity\"], "
+                "\"zipf_thetas\": [0.0, 0.5, 0.99]}",
+                kFormationWorkers, kFormationShards, kFormationBatchSize,
+                kFormationWorkers,
+                static_cast<unsigned long long>(kFormationUniverse));
+  return buf;
+}
+
+/// `--former` mode: the formation sweep, written to
+/// BENCH_scheduler_formation.json (schema psmr.bench.formation.v1, checked
+/// by tools/check_bench_formation_json.py) + METRICS_formation.json (the
+/// psmr.metrics.v1 export carrying former.* alongside early.*).
+int formation_main(bool smoke, const char* metrics_path) {
+  FILE* f = open_bench_file("BENCH_scheduler_formation.json",
+                            "micro_scheduler_formation", smoke,
+                            "psmr.bench.formation.v1", formation_config_json());
+  if (f == nullptr) return 1;
+  std::fprintf(f, "  \"formation_sweep\": [\n");
+  psmr::obs::Snapshot last_metrics;
+  write_formation_rows(f, smoke, &last_metrics);
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scheduler_formation.json\n");
+  return write_metrics_export(metrics_path, last_metrics);
+}
+
 struct CheckpointMeasurement {
   double delivery_kcmds_per_sec = 0.0;
   double avg_pause_us = 0.0;  // delivery-thread stall per checkpoint
@@ -887,130 +1120,93 @@ void write_checkpoint_rows(FILE* f, bool smoke, psmr::obs::Snapshot* last_metric
 /// BENCH_scheduler_checkpoints.json (+ the psmr.metrics.v1 export carrying
 /// the `checkpoint.*` metrics for the schema fixture).
 int checkpoints_main(bool smoke, const char* metrics_path) {
-  FILE* f = std::fopen("BENCH_scheduler_checkpoints.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scheduler_checkpoints.json for writing\n");
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_checkpoints\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  FILE* f = open_bench_file("BENCH_scheduler_checkpoints.json",
+                            "micro_scheduler_checkpoints", smoke, nullptr,
+                            "{\"workers\": 4, \"mode\": \"keys-nested\", "
+                            "\"intervals\": [0, 200, 50, 10]}");
+  if (f == nullptr) return 1;
   std::fprintf(f, "  \"checkpoint_sweep\": [\n");
   psmr::obs::Snapshot last_metrics;
   write_checkpoint_rows(f, smoke, &last_metrics);
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler_checkpoints.json\n");
-
-  if (metrics_path != nullptr) {
-    FILE* mf = std::fopen(metrics_path, "w");
-    if (mf == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
-      return 1;
-    }
-    const std::string json = last_metrics.to_json();
-    std::fwrite(json.data(), 1, json.size(), mf);
-    std::fputc('\n', mf);
-    std::fclose(mf);
-    std::printf("wrote %s\n", metrics_path);
-  }
-  return 0;
+  return write_metrics_export(metrics_path, last_metrics);
 }
 
 /// `--shards` mode: only the shard-scaling rows, written to
 /// BENCH_scheduler_shards.json (+ the sharded run's psmr.metrics.v1 export
 /// for the schema fixture).
 int shards_main(bool smoke, const char* metrics_path) {
-  FILE* f = std::fopen("BENCH_scheduler_shards.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scheduler_shards.json for writing\n");
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_shards\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   // Resolved configuration header (ISSUE 7 satellite): what actually runs,
   // derived from the same row table the measurement loop iterates.
-  std::fprintf(f,
-               "  \"config\": {\"total_workers\": %u, \"mode\": \"keys-nested\", "
-               "\"index\": \"scan\", \"rows\": [",
-               kShardTotalWorkers);
-  for (std::size_t i = 0; i < std::size(kShardRows); ++i) {
-    const ShardRow& r = kShardRows[i];
-    std::fprintf(f,
-                 "%s{\"shards\": %u, \"workers_per_shard\": %u, "
-                 "\"cross_shard_fraction\": %.3f, \"cross_gate\": \"%s\"}",
-                 i == 0 ? "" : ", ", r.shards,
-                 std::max(1u, kShardTotalWorkers / r.shards), r.cross,
-                 r.word_gate ? "word" : "mutex");
+  std::string config;
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"total_workers\": %u, \"mode\": \"keys-nested\", "
+                  "\"index\": \"scan\", \"rows\": [",
+                  kShardTotalWorkers);
+    config += buf;
+    for (std::size_t i = 0; i < std::size(kShardRows); ++i) {
+      const ShardRow& r = kShardRows[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"shards\": %u, \"workers_per_shard\": %u, "
+                    "\"cross_shard_fraction\": %.3f, \"cross_gate\": \"%s\"}",
+                    i == 0 ? "" : ", ", r.shards,
+                    std::max(1u, kShardTotalWorkers / r.shards), r.cross,
+                    r.word_gate ? "word" : "mutex");
+      config += buf;
+    }
+    config += "]}";
   }
-  std::fprintf(f, "]},\n");
+  FILE* f = open_bench_file("BENCH_scheduler_shards.json",
+                            "micro_scheduler_shards", smoke, nullptr, config);
+  if (f == nullptr) return 1;
   std::fprintf(f, "  \"sharded_scheduler\": [\n");
   psmr::obs::Snapshot last_metrics;
   write_sharded_rows(f, smoke, &last_metrics);
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler_shards.json\n");
-
-  if (metrics_path != nullptr) {
-    FILE* mf = std::fopen(metrics_path, "w");
-    if (mf == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
-      return 1;
-    }
-    const std::string json = last_metrics.to_json();
-    std::fwrite(json.data(), 1, json.size(), mf);
-    std::fputc('\n', mf);
-    std::fclose(mf);
-    std::printf("wrote %s\n", metrics_path);
-  }
-  return 0;
+  return write_metrics_export(metrics_path, last_metrics);
 }
 
 /// `--early` mode: only the early-scheduler acceptance rows, written to
 /// BENCH_scheduler_early.json (+ the early run's psmr.metrics.v1 export
 /// carrying the early.* counters/gauges for the schema fixture).
 int early_main(bool smoke, const char* metrics_path) {
-  FILE* f = std::fopen("BENCH_scheduler_early.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scheduler_early.json for writing\n");
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_early\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(f,
-               "  \"config\": {\"map\": \"contiguous-ranges\", "
-               "\"classes_per_worker\": 1, \"worker_counts\": [4, 8]},\n");
+  FILE* f = open_bench_file("BENCH_scheduler_early.json",
+                            "micro_scheduler_early", smoke, nullptr,
+                            "{\"map\": \"contiguous-ranges\", "
+                            "\"classes_per_worker\": 1, \"worker_counts\": [4, 8]}");
+  if (f == nullptr) return 1;
   std::fprintf(f, "  \"early_scheduler\": [\n");
   psmr::obs::Snapshot last_metrics;
   write_early_rows(f, smoke, &last_metrics);
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler_early.json\n");
-
-  if (metrics_path != nullptr) {
-    FILE* mf = std::fopen(metrics_path, "w");
-    if (mf == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
-      return 1;
-    }
-    const std::string json = last_metrics.to_json();
-    std::fwrite(json.data(), 1, json.size(), mf);
-    std::fputc('\n', mf);
-    std::fclose(mf);
-    std::printf("wrote %s\n", metrics_path);
-  }
-  return 0;
+  return write_metrics_export(metrics_path, last_metrics);
 }
 
 /// `--zipf-theta[=t]` mode: only the Zipf skew sweep, written to
 /// BENCH_scheduler_zipf.json.
 int zipf_main(bool smoke, double extra_theta) {
-  FILE* f = std::fopen("BENCH_scheduler_zipf.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scheduler_zipf.json for writing\n");
-    return 1;
+  // The sweep config now prints through the shared header path too, so
+  // `--zipf-theta=t` runs advertise the extra point they actually measured.
+  std::string config =
+      "{\"workers\": 4, \"batch_size\": 16, \"key_universe\": 1048576, "
+      "\"zipf_thetas\": [0.0, 0.5, 0.99";
+  if (extra_theta >= 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ", %.2f", extra_theta);
+    config += buf;
   }
-  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler_zipf\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  config += "]}";
+  FILE* f = open_bench_file("BENCH_scheduler_zipf.json", "micro_scheduler_zipf",
+                            smoke, nullptr, config);
+  if (f == nullptr) return 1;
   std::fprintf(f, "  \"zipf_sweep\": [\n");
   write_zipf_rows(f, smoke, extra_theta);
   std::fprintf(f, "\n  ]\n}\n");
@@ -1034,13 +1230,9 @@ int json_main(bool smoke, const char* metrics_path) {
       {ConflictMode::kBitmapSparse, 200, 64},
   };
 
-  FILE* f = std::fopen("BENCH_scheduler.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_scheduler.json for writing\n");
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_scheduler\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  FILE* f = open_bench_file("BENCH_scheduler.json", "micro_scheduler", smoke,
+                            nullptr, "");
+  if (f == nullptr) return 1;
   std::fprintf(f, "  \"simd_backend\": \"%s\",\n", psmr::util::Bitmap::simd_backend());
   std::fprintf(f, "  \"graph_insert\": [\n");
   bool first = true;
@@ -1108,23 +1300,10 @@ int json_main(bool smoke, const char* metrics_path) {
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_scheduler.json\n");
-
-  if (metrics_path != nullptr) {
-    // Full `psmr.metrics.v1` snapshot of the last throughput run's scheduler
-    // (post-drain). Validated by tools/check_metrics_json.py in the smoke
-    // target.
-    FILE* mf = std::fopen(metrics_path, "w");
-    if (mf == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
-      return 1;
-    }
-    const std::string json = last_metrics.to_json();
-    std::fwrite(json.data(), 1, json.size(), mf);
-    std::fputc('\n', mf);
-    std::fclose(mf);
-    std::printf("wrote %s\n", metrics_path);
-  }
-  return 0;
+  // Full `psmr.metrics.v1` snapshot of the last throughput run's scheduler
+  // (post-drain). Validated by tools/check_metrics_json.py in the smoke
+  // target.
+  return write_metrics_export(metrics_path, last_metrics);
 }
 
 }  // namespace
@@ -1134,6 +1313,7 @@ int main(int argc, char** argv) {
   bool shards = false;
   bool checkpoints = false;
   bool early = false;
+  bool former = false;
   bool zipf = false;
   double zipf_theta = -1.0;
   bool smoke = false;
@@ -1144,6 +1324,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--checkpoint-interval") == 0) checkpoints = true;
     if (std::strcmp(argv[i], "--checkpoints") == 0) checkpoints = true;
     if (std::strcmp(argv[i], "--early") == 0) early = true;
+    if (std::strcmp(argv[i], "--former") == 0) former = true;
     if (std::strcmp(argv[i], "--zipf-theta") == 0) zipf = true;
     if (std::strncmp(argv[i], "--zipf-theta=", 13) == 0) {
       zipf = true;
@@ -1167,6 +1348,11 @@ int main(int argc, char** argv) {
     return early_main(smoke,
                       metrics_path != nullptr ? metrics_path
                                               : "METRICS_early_scheduler.json");
+  }
+  if (former) {
+    return formation_main(smoke,
+                          metrics_path != nullptr ? metrics_path
+                                                  : "METRICS_formation.json");
   }
   if (zipf) return zipf_main(smoke, zipf_theta);
   if (json) return json_main(smoke, metrics_path);

@@ -51,10 +51,10 @@ int main() {
   //    client-side (paper §VI).
   smr::Proxy::Config pcfg;
   pcfg.proxy_id = 0;
-  pcfg.batch_size = 100;
+  pcfg.formation.batch_size = 100;
   pcfg.num_clients = 32;
-  pcfg.use_bitmap = true;
-  pcfg.bitmap.bits = 1024000;
+  pcfg.formation.use_bitmap = true;
+  pcfg.formation.bitmap.bits = 1024000;
 
   util::Xoshiro256 rng(2024);
   auto source = [&](std::uint64_t, std::uint64_t) {

@@ -72,10 +72,10 @@ int main() {
   for (unsigned p = 0; p < 2; ++p) {
     smr::Proxy::Config pcfg;
     pcfg.proxy_id = p;
-    pcfg.batch_size = 50;
+    pcfg.formation.batch_size = 50;
     pcfg.num_clients = 1024;
-    pcfg.use_bitmap = true;
-    pcfg.bitmap = bitmap;
+    pcfg.formation.use_bitmap = true;
+    pcfg.formation.bitmap = bitmap;
     proxies.push_back(std::make_unique<smr::Proxy>(
         pcfg, make_source(p == 0 ? rng_a : rng_b),
         [&](std::unique_ptr<smr::Batch> b) { adapter.broadcast(std::move(b)); }));

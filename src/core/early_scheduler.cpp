@@ -38,7 +38,7 @@ EarlyScheduler::EarlyScheduler(SchedulerOptions options, Executor executor)
              ? config_.class_map
              : std::make_shared<const smr::ConflictClassMap>(
                    smr::ConflictClassMap::uniform(config_.workers));
-  map_fingerprint_ = map_->fingerprint();
+  map_fingerprint_.store(map_->fingerprint(), std::memory_order_relaxed);
 
   const std::size_t cap = config_.max_pending_batches != 0
                               ? config_.max_pending_batches
@@ -143,9 +143,11 @@ bool EarlyScheduler::deliver(smr::BatchPtr batch) {
   tracer_.begin(seq);
   // Trust the class mask stamped at batch formation only when it was
   // computed under our exact map; otherwise recompute (one pass).
-  std::uint64_t mask = batch->class_map_fingerprint() == map_fingerprint_
-                           ? batch->class_mask()
-                           : smr::compute_class_mask(*batch, *map_);
+  // Relaxed: the delivery thread is the only writer of map_fingerprint_.
+  std::uint64_t mask =
+      batch->class_map_fingerprint() == map_fingerprint_.load(std::memory_order_relaxed)
+          ? batch->class_mask()
+          : smr::compute_class_mask(*batch, *map_);
   if (mask == 0) mask = 1;  // empty batch: route to class 0's worker
   const std::uint64_t pset = participants_of(mask);
   const int touched = std::popcount(pset);
@@ -552,6 +554,22 @@ void EarlyScheduler::release_barrier() {
 void EarlyScheduler::drain_to_sequence(std::uint64_t seq) {
   begin_barrier(seq);
   await_barrier();
+}
+
+void EarlyScheduler::apply_class_map(
+    std::shared_ptr<const smr::ConflictClassMap> map, std::uint64_t seq) {
+  PSMR_CHECK(map != nullptr);
+  // Quiesce the <= seq prefix: every batch routed under the OLD map has
+  // executed, so no in-flight work observes the swap. The barrier is the
+  // same mechanism the CheckpointManager uses (PR 6), and the caller is the
+  // delivery thread — the only reader of map_ — so the swap itself is a
+  // plain store.
+  drain_to_sequence(seq);
+  map_ = std::move(map);
+  map_fingerprint_.store(map_->fingerprint(), std::memory_order_release);
+  metrics_->gauge("early.classes").set(static_cast<double>(map_->num_classes()));
+  metrics_->counter("scheduler.repartitions").add(1);
+  release_barrier();
 }
 
 void EarlyScheduler::wait_idle() {

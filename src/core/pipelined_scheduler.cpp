@@ -32,6 +32,9 @@ PipelinedScheduler::PipelinedScheduler(SchedulerOptions options, Executor execut
       graph_(config_.mode, config_.index) {
   config_.validate();
   PSMR_CHECK(executor_ != nullptr);
+  if (config_.class_map != nullptr) {
+    class_map_fp_.store(config_.class_map->fingerprint(), std::memory_order_relaxed);
+  }
   worker_batches_metric_.reserve(config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i) {
     worker_batches_metric_.push_back(
@@ -136,6 +139,17 @@ void PipelinedScheduler::release_barrier() {
 void PipelinedScheduler::drain_to_sequence(std::uint64_t seq) {
   begin_barrier(seq);
   await_barrier();
+}
+
+void PipelinedScheduler::apply_class_map(
+    std::shared_ptr<const smr::ConflictClassMap> map, std::uint64_t seq) {
+  drain_to_sequence(seq);
+  config_.class_map = std::move(map);
+  class_map_fp_.store(
+      config_.class_map != nullptr ? config_.class_map->fingerprint() : 0,
+      std::memory_order_release);
+  metrics_->counter("scheduler.repartitions").add(1);
+  release_barrier();
 }
 
 void PipelinedScheduler::stop() {

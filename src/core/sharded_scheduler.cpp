@@ -20,6 +20,9 @@ ShardedScheduler::ShardedScheduler(SchedulerOptions options, Executor executor)
       cross_shard_metric_(&metrics_->counter("scheduler.batches_cross_shard")) {
   config_.validate();
   PSMR_CHECK(executor_ != nullptr);
+  if (config_.class_map != nullptr) {
+    class_map_fp_.store(config_.class_map->fingerprint(), std::memory_order_relaxed);
+  }
   shards_.reserve(config_.shards);
   for (unsigned s = 0; s < config_.shards; ++s) {
     SchedulerOptions sub = config_;
@@ -290,6 +293,17 @@ void ShardedScheduler::drain_to_sequence(std::uint64_t seq) {
 
 void ShardedScheduler::release_barrier() {
   for (auto& shard : shards_) shard->release_barrier();
+}
+
+void ShardedScheduler::apply_class_map(
+    std::shared_ptr<const smr::ConflictClassMap> map, std::uint64_t seq) {
+  drain_to_sequence(seq);
+  config_.class_map = std::move(map);
+  class_map_fp_.store(
+      config_.class_map != nullptr ? config_.class_map->fingerprint() : 0,
+      std::memory_order_release);
+  metrics_->counter("scheduler.repartitions").add(1);
+  release_barrier();
 }
 
 void ShardedScheduler::wait_idle() {

@@ -94,6 +94,18 @@ class ShardedScheduler {
   /// Releases every shard's barrier. Idempotent.
   void release_barrier();
 
+  /// Applies a new conflict-class map at `seq` — same contract as
+  /// Scheduler::apply_class_map (quiesce every shard, swap, release;
+  /// delivery thread only). Sharding partitions by key, not class, so the
+  /// map is observability here; the surface exists for variant parity.
+  void apply_class_map(std::shared_ptr<const smr::ConflictClassMap> map,
+                       std::uint64_t seq);
+  /// Safe from any thread — published through an atomic, so observers may
+  /// poll it while the delivery thread is mid-swap.
+  std::uint64_t class_map_fingerprint() const noexcept {
+    return class_map_fp_.load(std::memory_order_acquire);
+  }
+
   /// Forwarded to every shard engine; a failed batch fires it exactly once
   /// (from the shard that ran — or led — it). Set before start().
   void set_on_failure(FailureFn fn);
@@ -167,6 +179,7 @@ class ShardedScheduler {
   SchedulerOptions config_;
   Executor executor_;
   FailureFn on_failure_;
+  std::atomic<std::uint64_t> class_map_fp_{0};
 
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* batches_delivered_metric_;

@@ -21,10 +21,30 @@ std::uint64_t compute_shard_mask(const Batch& batch, unsigned shards) noexcept {
   return mask;
 }
 
+void Batch::stamp(const PlacementMaps& maps) {
+  const bool do_shards = maps.shards != 0;
+  const bool do_classes = maps.class_map != nullptr;
+  if (do_shards) PSMR_CHECK(maps.shards <= 64);
+  if (!do_shards && !do_classes) return;
+  std::uint64_t smask = 0;
+  std::uint64_t cmask = 0;
+  for (const Command& c : commands_) {
+    if (do_shards) smask |= std::uint64_t{1} << shard_of_key(c.key, maps.shards);
+    if (do_classes) cmask |= maps.class_map->class_mask_of(c);
+  }
+  if (do_shards) {
+    shard_mask_ = smask;
+    shard_count_ = maps.shards;
+  }
+  if (do_classes) {
+    class_mask_ = cmask;
+    class_fp_ = maps.class_map->fingerprint();
+  }
+}
+
 void Batch::build_shard_mask(unsigned shards) {
-  PSMR_CHECK(shards >= 1 && shards <= 64);
-  shard_mask_ = compute_shard_mask(*this, shards);
-  shard_count_ = shards;
+  PSMR_CHECK(shards >= 1);
+  stamp(PlacementMaps{shards, nullptr});
 }
 
 std::uint64_t compute_class_mask(const Batch& batch,
@@ -37,8 +57,9 @@ std::uint64_t compute_class_mask(const Batch& batch,
 }
 
 void Batch::build_class_mask(const ConflictClassMap& map) {
-  class_mask_ = compute_class_mask(*this, map);
-  class_fp_ = map.fingerprint();
+  // Non-owning aliasing handle: stamp() only reads the map within the call.
+  stamp(PlacementMaps{
+      0, std::shared_ptr<const ConflictClassMap>(std::shared_ptr<void>(), &map)});
 }
 
 void Batch::build_bitmap(const BitmapConfig& cfg) {

@@ -34,6 +34,19 @@ struct BitmapConfig {
   bool split_read_write = false;
 };
 
+/// The deterministic placement functions a proxy stamps batches under
+/// (API redesign, PR 9): the shard count of the target ShardedScheduler and
+/// the conflict-class map of the target EarlyScheduler. Either half may be
+/// absent (0 / null = skip that stamp). The same struct configures the
+/// BatchFormer's affinity routing, so formation and stamping can never use
+/// different maps.
+struct PlacementMaps {
+  /// 0 = no shard mask (single-graph schedulers); otherwise 1..64.
+  unsigned shards = 0;
+  /// null = no class mask.
+  std::shared_ptr<const ConflictClassMap> class_map;
+};
+
 class Batch {
  public:
   Batch() = default;
@@ -81,6 +94,16 @@ class Batch {
   /// scheme.
   const std::vector<std::uint32_t>& bitmap_positions() const noexcept { return positions_; }
 
+  /// Stamps every configured placement digest in ONE pass over the
+  /// commands: the touched-shard mask (when maps.shards != 0), the
+  /// touched-class mask plus map fingerprint (when maps.class_map != null).
+  /// This is the unified successor of build_shard_mask + build_class_mask
+  /// (which survive as thin wrappers): a proxy stamping both no longer
+  /// walks the command vector twice. Idempotent; skipped halves leave the
+  /// existing stamps untouched.
+  void stamp(const PlacementMaps& maps);
+
+  /// Deprecated-doc alias: build_shard_mask(S) == stamp({S, nullptr}).
   /// Builds the touched-shard set for an S-shard scheduler (DESIGN.md §11):
   /// bit s is set iff some command's key maps to shard s under
   /// shard_of_key(key, S). Computed at batch-formation time like the Bloom
@@ -95,6 +118,7 @@ class Batch {
   std::uint64_t shard_mask() const noexcept { return shard_mask_; }
   unsigned shard_count() const noexcept { return shard_count_; }
 
+  /// Deprecated-doc alias: build_class_mask(m) == stamp({0, &m}).
   /// Builds the touched-conflict-class set under `map` (DESIGN.md §13):
   /// bit c is set iff some command classifies as class c; bit 63
   /// (ConflictClassMap::kUnclassifiedBit) iff some command matches no rule.

@@ -17,7 +17,7 @@ void ConflictClassMap::add_range(Key lo, Key hi, std::uint32_t cls) {
   PSMR_CHECK(lo <= hi);
   PSMR_CHECK(cls < kMaxClasses);
   PSMR_CHECK(uniform_classes_ == 0);  // uniform maps take no extra rules
-  ranges_.push_back(Range{lo, hi, cls});
+  ranges_.push_back(RangeRule{lo, hi, cls});
   if (cls + 1 > num_classes_) num_classes_ = cls + 1;
 }
 
@@ -40,7 +40,7 @@ std::uint32_t ConflictClassMap::class_of_key(Key key) const noexcept {
     return static_cast<std::uint32_t>(
         util::reduce_range(util::mix64(key), uniform_classes_));
   }
-  for (const Range& r : ranges_) {
+  for (const RangeRule& r : ranges_) {
     if (key >= r.lo && key <= r.hi) return r.cls;
   }
   return default_class_;
@@ -63,7 +63,7 @@ std::uint64_t ConflictClassMap::fingerprint() const noexcept {
   // hashes to something recognizable and nonzero.
   std::uint64_t h = util::mix64(0x9e3779b97f4a7c15ULL);
   h = util::mix64(h ^ uniform_classes_);
-  for (const Range& r : ranges_) {
+  for (const RangeRule& r : ranges_) {
     h = util::mix64(h ^ r.lo);
     h = util::mix64(h ^ r.hi);
     h = util::mix64(h ^ r.cls);

@@ -49,6 +49,15 @@ class ConflictClassMap {
   /// Mask bit carried by batches that touch any unclassified key.
   static constexpr std::uint64_t kUnclassifiedBit = std::uint64_t{1} << 63;
 
+  /// One key-range declaration, exposed so the repartitioner can read the
+  /// current rules and rebuild a shifted map (DESIGN.md §15) and so the
+  /// repartition codec can serialize the map into a command batch.
+  struct RangeRule {
+    Key lo;
+    Key hi;
+    std::uint32_t cls;
+  };
+
   /// Empty map: every command is unclassified (the early scheduler then
   /// degenerates to its embedded graph engine).
   ConflictClassMap() = default;
@@ -98,17 +107,27 @@ class ConflictClassMap {
   /// foreign stamp.
   std::uint64_t fingerprint() const noexcept;
 
- private:
-  struct Range {
-    Key lo;
-    Key hi;
-    std::uint32_t cls;
-  };
+  /// Declaration-order range rules (first match wins). Empty for uniform
+  /// maps.
+  const std::vector<RangeRule>& range_rules() const noexcept { return ranges_; }
 
+  /// Nonzero iff this map is a uniform(n) hash partition.
+  std::uint32_t uniform_classes() const noexcept { return uniform_classes_; }
+
+  /// Class for unmatched keys; kUnclassified when no default was set.
+  std::uint32_t default_class() const noexcept { return default_class_; }
+
+  /// Kind-rule class for command type `t`; kUnclassified when unmapped.
+  std::uint32_t kind_class(OpType t) const noexcept {
+    return kind_class_[static_cast<std::size_t>(t)];
+  }
+
+ private:
   std::uint32_t uniform_classes_ = 0;  // nonzero = uniform hash partition
-  std::vector<Range> ranges_;
-  std::array<std::uint32_t, 4> kind_class_ = {kUnclassified, kUnclassified,
-                                              kUnclassified, kUnclassified};
+  std::vector<RangeRule> ranges_;
+  std::array<std::uint32_t, 5> kind_class_ = {kUnclassified, kUnclassified,
+                                              kUnclassified, kUnclassified,
+                                              kUnclassified};
   std::uint32_t default_class_ = kUnclassified;
   std::uint32_t num_classes_ = 0;
 };

@@ -23,19 +23,33 @@ Proxy::Proxy(Config config, CommandSource source, BroadcastFn broadcast)
                                             ".batches_abandoned")),
       admission_rejections_(&metrics_->counter(
           "proxy." + std::to_string(config.proxy_id) + ".admission_rejections")),
+      repartitions_proposed_(&metrics_->counter(
+          "proxy." + std::to_string(config.proxy_id) + ".repartitions_proposed")),
       latency_(&metrics_->histogram("proxy." + std::to_string(config.proxy_id) +
                                     ".latency_ns")),
       admission_wait_ns_(&metrics_->histogram("proxy." + std::to_string(config.proxy_id) +
-                                              ".admission_wait_ns")) {
+                                              ".admission_wait_ns")),
+      former_(BatchFormer::Config{
+          config.formation.policy, config.formation.batch_size,
+          config.formation.max_open_lanes, config.formation.max_lane_age,
+          PlacementMaps{config.formation.shards, config.formation.class_map},
+          metrics_}) {
   metrics_->gauge("proxy." + std::to_string(config_.proxy_id) + ".batch_size")
-      .set(static_cast<double>(config_.batch_size));
-  PSMR_CHECK(config_.batch_size >= 1);
+      .set(static_cast<double>(config_.formation.batch_size));
+  PSMR_CHECK(config_.formation.batch_size >= 1);
   PSMR_CHECK(config_.num_clients >= 1);
-  PSMR_CHECK(config_.retry.initial.count() > 0);
-  PSMR_CHECK(config_.retry.multiplier >= 1.0);
-  PSMR_CHECK(config_.retry.jitter >= 0.0);
+  PSMR_CHECK(config_.reliability.retry.initial.count() > 0);
+  PSMR_CHECK(config_.reliability.retry.multiplier >= 1.0);
+  PSMR_CHECK(config_.reliability.retry.jitter >= 0.0);
   PSMR_CHECK(source_ != nullptr);
   PSMR_CHECK(broadcast_ != nullptr);
+  if (config_.repartition.epoch_commands != 0 &&
+      config_.formation.class_map != nullptr) {
+    Repartitioner::Config rc = config_.repartition;
+    rc.metrics = metrics_;
+    repartitioner_ =
+        std::make_unique<Repartitioner>(rc, config_.formation.class_map);
+  }
 }
 
 Proxy::~Proxy() { stop(); }
@@ -57,56 +71,58 @@ void Proxy::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-Batch Proxy::build_batch() {
-  std::vector<Command> commands;
-  commands.reserve(config_.batch_size);
-  for (std::size_t j = 0; j < config_.batch_size; ++j) {
+std::vector<Batch> Proxy::build_round() {
+  std::vector<Batch> formed;
+  for (std::size_t j = 0; j < config_.formation.batch_size; ++j) {
     const std::size_t local = j % config_.num_clients;
     const std::uint64_t client_id = config_.proxy_id * config_.num_clients + local;
     const std::uint64_t seq = ++client_seq_[local];
     Command cmd = source_(client_id, seq);
     cmd.client_id = client_id;
     cmd.sequence = seq;
-    commands.push_back(cmd);
+    former_.offer(std::move(cmd), formed);
   }
-  Batch batch(std::move(commands));
-  batch.set_proxy_id(config_.proxy_id);
-  if (config_.use_bitmap) batch.build_bitmap(config_.bitmap);
-  if (config_.shards != 0) batch.build_shard_mask(config_.shards);
-  if (config_.class_map != nullptr) batch.build_class_mask(*config_.class_map);
-  return batch;
+  // The closed loop waits on every drawn command, so every open lane must
+  // flush before the round is broadcast.
+  former_.drain(formed);
+  for (Batch& b : formed) {
+    b.set_proxy_id(config_.proxy_id);
+    if (config_.formation.use_bitmap) b.build_bitmap(config_.formation.bitmap);
+  }
+  return formed;
 }
 
 std::chrono::nanoseconds Proxy::backoff_with_jitter(std::chrono::nanoseconds backoff) {
-  if (config_.retry.jitter <= 0.0) return backoff;
+  if (config_.reliability.retry.jitter <= 0.0) return backoff;
   const auto span = static_cast<std::uint64_t>(
-      config_.retry.jitter * static_cast<double>(backoff.count()));
+      config_.reliability.retry.jitter * static_cast<double>(backoff.count()));
   return backoff + std::chrono::nanoseconds(jitter_rng_.next_below(span + 1));
 }
 
 void Proxy::run_loop() {
-  const RetryConfig& retry = config_.retry;
+  const RetryConfig& retry = config_.reliability.retry;
   std::unique_lock lk(mu_);
   while (!stop_) {
     // Pre-order admission (DESIGN.md §14): acquire credits for the whole
-    // batch BEFORE it can reach the total order. A rejection is the
+    // round BEFORE it can reach the total order. A rejection is the
     // kOverloaded answer a real client would get; the wait below is that
-    // client's backoff between re-asks.
-    const std::uint64_t n_admit = config_.batch_size;
+    // client's backoff between re-asks. Credits are counted in commands, so
+    // the round's cost is the same however the former packs it.
+    const std::uint64_t n_admit = config_.formation.batch_size;
     bool holds_credits = false;
-    if (config_.admission != nullptr) {
+    if (config_.admission.controller != nullptr) {
       const std::uint64_t adm_t0 = util::now_ns();
       std::chrono::nanoseconds prev{0};
       while (!stop_) {
         const AdmissionController::Decision decision =
-            config_.admission->try_admit(config_.proxy_id, n_admit);
+            config_.admission.controller->try_admit(config_.proxy_id, n_admit);
         if (decision.admitted) {
           holds_credits = true;
           break;
         }
         admission_rejections_->add(1);
         std::chrono::nanoseconds wait;
-        if (config_.honor_retry_after) {
+        if (config_.reliability.honor_retry_after) {
           // Decorrelated jitter: uniform in [hint, 3·previous wait], capped
           // at the retry ceiling — grows away from the server's hint
           // without synchronizing the re-ask times of rejected clients.
@@ -130,24 +146,27 @@ void Proxy::run_loop() {
       if (!holds_credits) break;  // stopped while shedding
     }
     lk.unlock();
-    const Batch proto = build_batch();  // kept for retransmission
-    const std::size_t n = proto.size();
+    const std::vector<Batch> round = build_round();  // kept for retransmission
+    std::size_t n = 0;
     lk.lock();
     outstanding_.clear();
-    for (const Command& c : proto.commands()) {
-      outstanding_.insert(op_token(c.client_id, c.sequence));
+    for (const Batch& b : round) {
+      for (const Command& c : b.commands()) {
+        outstanding_.insert(op_token(c.client_id, c.sequence));
+        ++n;
+      }
     }
     lk.unlock();
     const std::uint64_t t0 = util::now_ns();
-    broadcast_(std::make_unique<Batch>(proto));
+    for (const Batch& b : round) broadcast_(std::make_unique<Batch>(b));
     auto backoff = std::chrono::duration_cast<std::chrono::nanoseconds>(retry.initial);
     unsigned attempt = 1;
     bool completed = false;
     bool abandoned = false;
     lk.lock();
     for (;;) {
-      // Wait for the first reply to every command in the batch (§VI) — but
-      // only up to the retry deadline: fair-lossy links may have eaten the
+      // Wait for the first reply to every command in the round (§VI) — but
+      // only up to the retry deadline: fair-lossy links may have eaten a
       // batch or its responses.
       all_done_.wait_for(lk, backoff_with_jitter(backoff),
                          [&] { return outstanding_.empty() || stop_; });
@@ -155,7 +174,7 @@ void Proxy::run_loop() {
         completed = true;
         break;
       }
-      if (stop_) break;  // stopped mid-batch; don't count it
+      if (stop_) break;  // stopped mid-round; don't count it
       if (retry.max_attempts != 0 && attempt >= retry.max_attempts) {
         outstanding_.clear();
         abandoned = true;
@@ -164,9 +183,14 @@ void Proxy::run_loop() {
       ++attempt;
       retransmits_->add(1);
       lk.unlock();
-      auto resend = std::make_unique<Batch>(proto);
-      resend->set_attempt(attempt);
-      broadcast_(std::move(resend));
+      // The whole round is re-broadcast: replicas deduplicate through their
+      // session tables, so re-sending an already-delivered batch of the
+      // round costs one cached-response replay, never a re-execution.
+      for (const Batch& b : round) {
+        auto resend = std::make_unique<Batch>(b);
+        resend->set_attempt(attempt);
+        broadcast_(std::move(resend));
+      }
       lk.lock();
       backoff = std::min(
           std::chrono::nanoseconds(static_cast<std::int64_t>(
@@ -177,14 +201,31 @@ void Proxy::run_loop() {
       lk.unlock();
       latency_->record(util::now_ns() - t0);
       commands_completed_->add(n);
-      batches_completed_->add(1);
+      batches_completed_->add(round.size());
+      // Epoch repartition (DESIGN.md §15): feed the former's per-class
+      // loads, and when an epoch closes hot, broadcast the rebalanced map
+      // through the SAME total order as data — fire-and-forget (sequence-0
+      // control commands are untracked, so there is no response to await;
+      // loss is benign, the next hot epoch proposes again) — then adopt it
+      // locally so subsequent rounds form and stamp under the new map.
+      if (repartitioner_ != nullptr) {
+        repartitioner_->ingest(former_.class_loads());
+        if (auto next = repartitioner_->maybe_repartition()) {
+          repartitions_proposed_->add(1);
+          auto ctrl = std::make_unique<Batch>(encode_repartition(*next));
+          ctrl->set_proxy_id(config_.proxy_id);
+          broadcast_(std::move(ctrl));
+          former_.set_placement(
+              PlacementMaps{config_.formation.shards, std::move(next)});
+        }
+      }
       lk.lock();
     } else if (abandoned) {
       batches_abandoned_->add(1);
     }
-    // Credits return on every exit from the batch (completed, abandoned, or
+    // Credits return on every exit from the round (completed, abandoned, or
     // stopped mid-flight) — exactly once per successful try_admit.
-    if (holds_credits) config_.admission->release(config_.proxy_id, n_admit);
+    if (holds_credits) config_.admission.controller->release(config_.proxy_id, n_admit);
     // stop_ is re-checked by the while condition (still under mu_).
   }
 }

@@ -1,11 +1,13 @@
 // Client proxy (paper §V-A "Batched commands" and §VI).
 //
 // A proxy fronts a group of clients: it draws one command per client from a
-// command source, groups them into a batch of the configured size, computes
-// the batch's Bloom digest CLIENT-SIDE ("to alleviate the burden on the
+// command source, routes them through a BatchFormer (append-until-full
+// under FormationPolicy::kOblivious — the paper's packing — or per-home
+// affinity lanes under kAffinity, DESIGN.md §15), computes each formed
+// batch's Bloom digest CLIENT-SIDE ("to alleviate the burden on the
 // parallelizer, the bitmaps for a batch are computed by the client proxy"),
-// broadcasts the batch, and waits for the FIRST response to every command
-// in the batch before broadcasting the next one — a closed loop. Offered
+// broadcasts the round's batches, and waits for the FIRST response to every
+// command in the round before drawing the next one — a closed loop. Offered
 // load is therefore controlled by the number of proxies.
 //
 // Reliability (fair-lossy links, §II): the wait on a batch carries a
@@ -30,7 +32,9 @@
 #include "obs/metrics.hpp"
 #include "smr/admission.hpp"
 #include "smr/batch.hpp"
+#include "smr/batch_former.hpp"
 #include "smr/command.hpp"
+#include "smr/repartition.hpp"
 #include "stats/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -66,36 +70,49 @@ class Proxy {
   /// consensus adapter).
   using BroadcastFn = std::function<void(std::unique_ptr<Batch>)>;
 
-  struct Config {
-    std::uint64_t proxy_id = 0;
-    /// Commands per batch (the paper evaluates 1, 100, 200).
+  /// How this proxy packs commands into batches (DESIGN.md §15). Groups
+  /// the formation-time knobs that previously sat flat in Config: the old
+  /// field names survive as deprecated-doc aliases —
+  ///   config.batch_size  -> config.formation.batch_size
+  ///   config.use_bitmap  -> config.formation.use_bitmap
+  ///   config.bitmap      -> config.formation.bitmap
+  ///   config.shards      -> config.formation.shards
+  ///   config.class_map   -> config.formation.class_map
+  struct FormationConfig {
+    /// Commands drawn per round (the paper evaluates 1, 100, 200). Under
+    /// kOblivious each round is exactly one batch of this size; under
+    /// kAffinity it is the former's size watermark, and a round may split
+    /// into several home-pure batches.
     std::size_t batch_size = 1;
-    /// Simulated clients behind this proxy; commands are drawn round-robin.
-    std::size_t num_clients = 16;
+    /// Packing policy (BatchFormer): kOblivious = the paper's
+    /// append-until-full loop, kAffinity = per-(class, shard) lanes.
+    FormationPolicy policy = FormationPolicy::kOblivious;
+    /// Affinity watermarks, passed through to BatchFormer::Config
+    /// (0 = that struct's defaults).
+    std::size_t max_open_lanes = 0;
+    std::size_t max_lane_age = 0;
     /// Whether to attach the Bloom digest, and its parameters.
     bool use_bitmap = false;
     BitmapConfig bitmap;
-    /// When non-zero, each batch is also stamped with its touched-shard
-    /// set for an S-shard scheduler (Batch::build_shard_mask) — computed
-    /// here at batch-formation time, off the delivery critical path, like
-    /// the Bloom digest. 0 = skip (single-graph schedulers).
+    /// When non-zero, each batch is stamped with its touched-shard set for
+    /// an S-shard scheduler — computed at formation time, off the delivery
+    /// critical path, like the Bloom digest. 0 = skip. Under kAffinity
+    /// also the shard half of the lane key.
     unsigned shards = 0;
-    /// When set, each batch is also stamped with its touched-conflict-class
-    /// mask for the EarlyScheduler (Batch::build_class_mask) — the same
-    /// formation-time precomputation as the shard mask. Must be the
-    /// identical map the replicas configure (the scheduler recomputes on a
-    /// fingerprint mismatch, so a drifted proxy costs cycles, not
-    /// correctness). null = skip.
+    /// When set, each batch is stamped with its touched-conflict-class
+    /// mask for the EarlyScheduler, and (under kAffinity) classes form the
+    /// lane keys. Must be the map the replicas configure (the scheduler
+    /// recomputes on a fingerprint mismatch, so a drifted proxy costs
+    /// cycles, not correctness). null = skip.
     std::shared_ptr<const ConflictClassMap> class_map;
+  };
+
+  /// Retransmission discipline (deprecated-doc aliases:
+  /// config.retry -> config.reliability.retry,
+  /// config.honor_retry_after -> config.reliability.honor_retry_after).
+  struct ReliabilityConfig {
     /// Retransmission policy for lost batches/responses.
     RetryConfig retry;
-    /// Pre-order admission control (DESIGN.md §14): when set, every batch
-    /// acquires credits BEFORE broadcast and releases them when the batch
-    /// completes (or is abandoned). A rejected acquisition = the server's
-    /// kOverloaded answer; the proxy backs off per `honor_retry_after` and
-    /// tries again — nothing sheds after the order. Shared across proxies
-    /// fronting one ingress. null = no admission control.
-    std::shared_ptr<AdmissionController> admission;
     /// true (default): back off by the rejection's retry-after hint with
     /// decorrelated jitter (AWS-style: uniform in [hint, 3·previous],
     /// capped at retry.max) — overload pushes the retry load DOWN.
@@ -103,6 +120,39 @@ class Proxy {
     /// regardless of the hint — reproduces retry-storm amplification for
     /// the regression test.
     bool honor_retry_after = true;
+  };
+
+  /// Pre-order admission control (deprecated-doc alias:
+  /// config.admission -> config.admission.controller).
+  struct AdmissionConfig {
+    /// When set, every round acquires credits BEFORE broadcast and
+    /// releases them when the round completes (or is abandoned). A
+    /// rejected acquisition = the server's kOverloaded answer; the proxy
+    /// backs off per reliability.honor_retry_after and tries again —
+    /// nothing sheds after the order (DESIGN.md §14). Shared across
+    /// proxies fronting one ingress. null = no admission control.
+    std::shared_ptr<AdmissionController> controller;
+  };
+
+  /// Cohesive proxy configuration (API redesign, PR 9 — the PR-4
+  /// SchedulerOptions consolidation applied to the proxy): the grown flat
+  /// surface is regrouped into formation / reliability / admission
+  /// sub-configs; each old flat field name is documented at its new home.
+  struct Config {
+    std::uint64_t proxy_id = 0;
+    /// Simulated clients behind this proxy; commands are drawn round-robin.
+    std::size_t num_clients = 16;
+    FormationConfig formation;
+    ReliabilityConfig reliability;
+    AdmissionConfig admission;
+    /// Epoch repartitioning (DESIGN.md §15): with epoch_commands != 0 and
+    /// formation.class_map set, the proxy watches per-class load from its
+    /// former, and when an epoch closes hot it broadcasts the rebalanced
+    /// map as a kRepartition batch through the total order, then adopts it
+    /// locally (fingerprint bump — replicas recompute stale stamps).
+    /// Default: disabled.
+    Repartitioner::Config repartition{
+        .epoch_commands = 0, .imbalance_factor = 2.0, .metrics = nullptr};
   };
 
   Proxy(Config config, CommandSource source, BroadcastFn broadcast);
@@ -143,9 +193,23 @@ class Proxy {
     return admission_rejections_->value();
   }
 
-  /// Batch round-trip latency (ns), recorded per completed batch. Returns a
-  /// merged copy of the registry histogram (`proxy.N.latency_ns`).
+  /// Repartition proposals this proxy has broadcast (kRepartition batches).
+  std::uint64_t repartitions_proposed() const noexcept {
+    return repartitions_proposed_->value();
+  }
+
+  /// Round (= batch under kOblivious) round-trip latency (ns), recorded per
+  /// completed round. Returns a merged copy of the registry histogram
+  /// (`proxy.N.latency_ns`).
   stats::Histogram latency() const { return latency_->merged(); }
+
+  /// The formation pipeline (watermark counters, class loads — test hook).
+  const BatchFormer& former() const noexcept { return former_; }
+
+  /// The epoch repartitioner, or null when disabled (test hook).
+  const Repartitioner* repartitioner() const noexcept {
+    return repartitioner_.get();
+  }
 
   /// Unified metrics snapshot. Names carry the proxy id (`proxy.N.metric`,
   /// like `worker.N.*` — DESIGN.md §10), so snapshots of several proxies
@@ -156,7 +220,11 @@ class Proxy {
 
  private:
   void run_loop();
-  Batch build_batch();
+  /// Draws formation.batch_size commands round-robin across the local
+  /// clients, routes them through the former, and drains it — the round's
+  /// broadcast-ready batches (proxy id + Bloom digest applied; shard/class
+  /// stamps were already applied by the former's single-pass Batch::stamp).
+  std::vector<Batch> build_round();
   std::chrono::nanoseconds backoff_with_jitter(std::chrono::nanoseconds backoff);
 
   static std::uint64_t op_token(std::uint64_t client_id, std::uint64_t seq) noexcept {
@@ -185,8 +253,16 @@ class Proxy {
   obs::Counter* retransmits_;
   obs::Counter* batches_abandoned_;
   obs::Counter* admission_rejections_;
+  obs::Counter* repartitions_proposed_;
   obs::HistogramMetric* latency_;
   obs::HistogramMetric* admission_wait_ns_;
+
+  // Formation pipeline + epoch repartitioner (null = disabled). Both share
+  // metrics_, so `former.*` / `repartition.*` ride the proxy snapshot.
+  // Touched only from the loop thread.
+  BatchFormer former_;
+  std::unique_ptr<Repartitioner> repartitioner_;
+
   std::thread thread_;
 };
 

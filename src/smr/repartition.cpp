@@ -1,0 +1,261 @@
+#include "smr/repartition.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace psmr::smr {
+
+namespace {
+
+/// Record tags carried in Command::cost_ns (sequence stays 0 = untracked).
+constexpr std::uint32_t kTagHeader = 0;
+constexpr std::uint32_t kTagRange = 1;
+constexpr std::uint32_t kTagKind = 2;
+/// Header key: distinguishes a real repartition batch from a (malformed)
+/// data batch that happens to carry kRepartition commands.
+constexpr Key kHeaderKey = 0x50534d5252505431ull;  // "PSMRRPT1"
+
+/// Classes a map can actually produce (range rules, kind rules, default) —
+/// the population the imbalance trigger averages over.
+std::uint64_t produced_classes_mask(const ConflictClassMap& map) {
+  std::uint64_t mask = 0;
+  for (const ConflictClassMap::RangeRule& r : map.range_rules()) {
+    mask |= std::uint64_t{1} << r.cls;
+  }
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(OpType::kRepartition); ++t) {
+    const std::uint32_t k = map.kind_class(static_cast<OpType>(t));
+    if (k != ConflictClassMap::kUnclassified) mask |= std::uint64_t{1} << k;
+  }
+  if (map.default_class() != ConflictClassMap::kUnclassified) {
+    mask |= std::uint64_t{1} << map.default_class();
+  }
+  return mask;
+}
+
+}  // namespace
+
+bool is_repartition(const Batch& batch) noexcept {
+  if (batch.empty()) return false;
+  for (const Command& c : batch.commands()) {
+    if (c.type != OpType::kRepartition) return false;
+  }
+  return batch.commands().front().cost_ns == kTagHeader &&
+         batch.commands().front().key == kHeaderKey;
+}
+
+Batch encode_repartition(const ConflictClassMap& map) {
+  std::vector<Command> cmds;
+  cmds.reserve(2 + map.range_rules().size());
+  Command header;
+  header.type = OpType::kRepartition;
+  header.key = kHeaderKey;
+  header.value = (std::uint64_t{map.uniform_classes()} << 32) |
+                 std::uint64_t{map.default_class()};
+  header.cost_ns = kTagHeader;
+  cmds.push_back(header);
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(OpType::kRepartition); ++t) {
+    const std::uint32_t cls = map.kind_class(static_cast<OpType>(t));
+    if (cls == ConflictClassMap::kUnclassified) continue;
+    Command c;
+    c.type = OpType::kRepartition;
+    c.key = t;
+    c.client_id = cls;
+    c.cost_ns = kTagKind;
+    cmds.push_back(c);
+  }
+  for (const ConflictClassMap::RangeRule& r : map.range_rules()) {
+    Command c;
+    c.type = OpType::kRepartition;
+    c.key = r.lo;
+    c.value = r.hi;
+    c.client_id = r.cls;
+    c.cost_ns = kTagRange;
+    cmds.push_back(c);
+  }
+  return Batch(std::move(cmds));
+}
+
+std::shared_ptr<const ConflictClassMap> decode_repartition(const Batch& batch) {
+  if (!is_repartition(batch)) return nullptr;
+  const Command& header = batch.commands().front();
+  const auto uniform = static_cast<std::uint32_t>(header.value >> 32);
+  const auto default_cls = static_cast<std::uint32_t>(header.value & 0xffffffffu);
+  if (uniform != 0) {
+    if (uniform > ConflictClassMap::kMaxClasses || batch.size() != 1) return nullptr;
+    return std::make_shared<const ConflictClassMap>(ConflictClassMap::uniform(uniform));
+  }
+  auto map = std::make_shared<ConflictClassMap>();
+  // Kind rules precede range rules in the encoding, but apply in any order:
+  // they live in separate rule families, and add order within each family
+  // is what the fingerprint chain hashes.
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    const Command& c = batch.commands()[i];
+    switch (c.cost_ns) {
+      case kTagKind:
+        if (c.key > static_cast<std::uint8_t>(OpType::kRepartition) ||
+            c.client_id >= ConflictClassMap::kMaxClasses) {
+          return nullptr;
+        }
+        map->map_kind(static_cast<OpType>(c.key),
+                      static_cast<std::uint32_t>(c.client_id));
+        break;
+      case kTagRange:
+        if (c.key > c.value || c.client_id >= ConflictClassMap::kMaxClasses) {
+          return nullptr;
+        }
+        map->add_range(c.key, c.value, static_cast<std::uint32_t>(c.client_id));
+        break;
+      default:
+        return nullptr;  // stray header or unknown tag
+    }
+  }
+  if (default_cls != ConflictClassMap::kUnclassified) {
+    if (default_cls >= ConflictClassMap::kMaxClasses) return nullptr;
+    map->set_default_class(default_cls);
+  }
+  return map;
+}
+
+std::shared_ptr<const ConflictClassMap> Repartitioner::split_hottest(
+    const ConflictClassMap& map, const std::vector<std::uint64_t>& loads,
+    double imbalance_factor) {
+  if (map.uniform_classes() != 0 || map.range_rules().empty()) return nullptr;
+  const std::uint64_t produced = produced_classes_mask(map);
+  if (produced == 0) return nullptr;
+
+  std::uint64_t total = 0;
+  unsigned population = 0;
+  std::uint32_t hottest = ConflictClassMap::kUnclassified;
+  std::uint32_t coldest = ConflictClassMap::kUnclassified;
+  for (std::uint32_t cls = 0; cls < ConflictClassMap::kMaxClasses; ++cls) {
+    if ((produced & (std::uint64_t{1} << cls)) == 0) continue;
+    const std::uint64_t load = cls < loads.size() ? loads[cls] : 0;
+    total += load;
+    ++population;
+    // Ties break toward the lowest class id (strict comparisons,
+    // ascending scan) — every proxy with the same inputs proposes the
+    // same map.
+    if (hottest == ConflictClassMap::kUnclassified || load > loads[hottest]) {
+      hottest = cls;
+    }
+    if (coldest == ConflictClassMap::kUnclassified ||
+        (cls < loads.size() ? loads[cls] : 0) <
+            (coldest < loads.size() ? loads[coldest] : 0)) {
+      coldest = cls;
+    }
+  }
+  if (population < 2 || hottest == coldest || total == 0) return nullptr;
+  const double mean = static_cast<double>(total) / population;
+  const std::uint64_t hot_load = hottest < loads.size() ? loads[hottest] : 0;
+  if (static_cast<double>(hot_load) < imbalance_factor * mean) return nullptr;
+
+  // Widest splittable range owned by the hottest class; earliest rule wins
+  // ties (deterministic).
+  std::size_t split_idx = map.range_rules().size();
+  Key best_width = 0;
+  for (std::size_t i = 0; i < map.range_rules().size(); ++i) {
+    const ConflictClassMap::RangeRule& r = map.range_rules()[i];
+    if (r.cls != hottest || r.hi == r.lo) continue;
+    const Key width = r.hi - r.lo;
+    if (split_idx == map.range_rules().size() || width > best_width) {
+      split_idx = i;
+      best_width = width;
+    }
+  }
+  if (split_idx == map.range_rules().size()) return nullptr;
+
+  // Rebuild with the chosen rule split in place: [lo, mid] stays hot,
+  // [mid+1, hi] moves to the coldest class. In-place replacement preserves
+  // first-match-wins for every other rule.
+  auto next = std::make_shared<ConflictClassMap>();
+  for (std::size_t i = 0; i < map.range_rules().size(); ++i) {
+    const ConflictClassMap::RangeRule& r = map.range_rules()[i];
+    if (i == split_idx) {
+      const Key mid = r.lo + (r.hi - r.lo) / 2;
+      next->add_range(r.lo, mid, hottest);
+      next->add_range(mid + 1, r.hi, coldest);
+    } else {
+      next->add_range(r.lo, r.hi, r.cls);
+    }
+  }
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(OpType::kRepartition); ++t) {
+    const std::uint32_t k = map.kind_class(static_cast<OpType>(t));
+    if (k != ConflictClassMap::kUnclassified) next->map_kind(static_cast<OpType>(t), k);
+  }
+  if (map.default_class() != ConflictClassMap::kUnclassified) {
+    next->set_default_class(map.default_class());
+  }
+  return next;
+}
+
+Repartitioner::Repartitioner(Config config,
+                             std::shared_ptr<const ConflictClassMap> initial)
+    : config_(std::move(config)),
+      current_(std::move(initial)),
+      epoch_loads_(ConflictClassMap::kMaxClasses + 1, 0),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      epochs_(&metrics_->counter("repartition.epochs")),
+      proposals_(&metrics_->counter("repartition.proposals")),
+      skipped_balanced_(&metrics_->counter("repartition.skipped_balanced")),
+      skipped_unsplittable_(&metrics_->counter("repartition.skipped_unsplittable")) {
+  PSMR_CHECK(current_ != nullptr);
+  PSMR_CHECK(config_.imbalance_factor >= 1.0);
+}
+
+void Repartitioner::record(std::uint32_t cls, std::uint64_t n) {
+  const std::size_t idx = cls < ConflictClassMap::kMaxClasses
+                              ? cls
+                              : ConflictClassMap::kMaxClasses;
+  epoch_loads_[idx] += n;
+  epoch_observed_ += n;
+}
+
+void Repartitioner::ingest(const std::vector<std::uint64_t>& cumulative_loads) {
+  if (ingested_.size() < cumulative_loads.size()) {
+    ingested_.resize(cumulative_loads.size(), 0);
+  }
+  for (std::size_t i = 0; i < cumulative_loads.size(); ++i) {
+    const std::uint64_t prev = ingested_[i];
+    if (cumulative_loads[i] > prev) {
+      record(i == ConflictClassMap::kMaxClasses
+                 ? ConflictClassMap::kUnclassified
+                 : static_cast<std::uint32_t>(i),
+             cumulative_loads[i] - prev);
+    }
+    ingested_[i] = cumulative_loads[i];
+  }
+}
+
+std::shared_ptr<const ConflictClassMap> Repartitioner::maybe_repartition() {
+  if (config_.epoch_commands == 0 || epoch_observed_ < config_.epoch_commands) {
+    return nullptr;
+  }
+  epochs_->add(1);
+  auto proposal = split_hottest(*current_, epoch_loads_, config_.imbalance_factor);
+  if (proposal == nullptr) {
+    // Attribute the skip: was there no legal split at all, or just no
+    // imbalance? (Factor 1.0 always passes the trigger when any load
+    // exists, so a null there means structurally unsplittable.)
+    if (split_hottest(*current_, epoch_loads_, 1.0) == nullptr) {
+      skipped_unsplittable_->add(1);
+    } else {
+      skipped_balanced_->add(1);
+    }
+  }
+  std::fill(epoch_loads_.begin(), epoch_loads_.end(), 0);
+  epoch_observed_ = 0;
+  if (proposal == nullptr) return nullptr;
+  proposals_->add(1);
+  current_ = proposal;
+  return proposal;
+}
+
+void Repartitioner::adopt(std::shared_ptr<const ConflictClassMap> map) {
+  PSMR_CHECK(map != nullptr);
+  current_ = std::move(map);
+}
+
+}  // namespace psmr::smr

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "smr/repartition.hpp"
 #include "util/assert.hpp"
 
 namespace psmr::smr {
@@ -17,6 +18,7 @@ Replica::Replica(Config config, Service& service, ResponseSink sink)
                    : std::make_shared<obs::MetricsRegistry>()),
       batches_deduped_(&metrics_->counter("replica.batches_deduped")),
       responses_from_cache_(&metrics_->counter("replica.responses_from_cache")),
+      repartitions_applied_(&metrics_->counter("replica.repartitions_applied")),
       scheduler_(
           [&] {
             // The scheduler publishes into the replica's registry, so one
@@ -57,6 +59,24 @@ bool Replica::install_checkpoint(const CheckpointRecord& record) {
 
 bool Replica::deliver(BatchPtr batch) {
   const std::uint64_t seq = batch != nullptr ? batch->sequence() : 0;
+  if (batch != nullptr && is_repartition(*batch)) {
+    // Repartition control batch (DESIGN.md §15): never reaches the service.
+    // Every replica sees it at the same sequence (total order), quiesces its
+    // scheduler's <= seq prefix through the checkpoint barrier, and swaps
+    // the map — so all replicas route every data batch under the same map.
+    // Applying is idempotent (same map -> same fingerprint), which makes
+    // retransmitted control batches harmless, and a malformed batch is
+    // ignored identically everywhere (decode is deterministic).
+    auto map = decode_repartition(*batch);
+    if (map != nullptr) {
+      scheduler_.apply_class_map(std::move(map), seq);
+      repartitions_applied_->add(1);
+    }
+    // The control sequence still advances the checkpoint clock, like the
+    // dedup fast path: every replica checkpoints at the same sequence.
+    if (checkpoints_ != nullptr) checkpoints_->on_delivered(seq);
+    return true;
+  }
   if (config_.exactly_once && batch != nullptr && !batch->empty()) {
     // Fast path: a batch whose every command has already been finished is a
     // retransmission; answer from the cache without polluting the graph.

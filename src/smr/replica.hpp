@@ -94,6 +94,19 @@ class Replica {
     return batches_deduped_->value();
   }
 
+  /// kRepartition control batches applied at delivery (DESIGN.md §15).
+  /// Also exported as the `replica.repartitions_applied` counter.
+  std::uint64_t repartitions_applied() const noexcept {
+    return repartitions_applied_->value();
+  }
+
+  /// Fingerprint of the scheduler's current conflict-class map (0 = none
+  /// configured). Changes exactly when a repartition batch is applied —
+  /// replicas in lockstep agree on this value at every sequence.
+  std::uint64_t class_map_fingerprint() const noexcept {
+    return scheduler_.class_map_fingerprint();
+  }
+
   /// The checkpoint subsystem; null unless Config::checkpoint_interval > 0.
   /// Deployment wiring (log horizon stamping, on-checkpoint publication)
   /// attaches here.
@@ -116,6 +129,7 @@ class Replica {
   std::shared_ptr<obs::MetricsRegistry> metrics_;  // shared with scheduler_
   obs::Counter* batches_deduped_;
   obs::Counter* responses_from_cache_;
+  obs::Counter* repartitions_applied_;
   core::Scheduler scheduler_;
   std::unique_ptr<CheckpointManager> checkpoints_;
 };

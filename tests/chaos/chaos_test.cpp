@@ -110,10 +110,10 @@ TEST_P(ChaosTest, ScriptedFaultTimelineKeepsReplicasIdenticalAndExactlyOnce) {
 
   smr::Proxy::Config pcfg;
   pcfg.proxy_id = 0;
-  pcfg.batch_size = kBatchSize;
+  pcfg.formation.batch_size = kBatchSize;
   pcfg.num_clients = kNumClients;
-  pcfg.retry.initial = 50ms;
-  pcfg.retry.max = 400ms;
+  pcfg.reliability.retry.initial = 50ms;
+  pcfg.reliability.retry.max = 400ms;
   util::Xoshiro256 rng(seed * 7919 + 1);
   std::atomic<std::uint64_t> broadcasts{0};
   smr::Proxy proxy(

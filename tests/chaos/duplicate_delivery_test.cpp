@@ -58,10 +58,10 @@ TEST(DuplicateDelivery, ExactlyOnceUnderDuplicatingLossyLinks) {
     // and from the retry layer.
     smr::Proxy::Config pcfg;
     pcfg.proxy_id = 0;
-    pcfg.batch_size = kBatchSize;
+    pcfg.formation.batch_size = kBatchSize;
     pcfg.num_clients = 6;
-    pcfg.retry.initial = 25ms;
-    pcfg.retry.max = 150ms;
+    pcfg.reliability.retry.initial = 25ms;
+    pcfg.reliability.retry.max = 150ms;
     util::Xoshiro256 rng(seed);
     smr::Proxy proxy(
         pcfg,

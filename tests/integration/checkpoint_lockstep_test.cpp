@@ -60,7 +60,10 @@ struct RunResult {
 
 template <typename S>
 RunResult run_variant(core::SchedulerOptions cfg, unsigned stamp_shards,
-                      const std::vector<std::vector<smr::Command>>& stream) {
+                      const std::vector<std::vector<smr::Command>>& stream,
+                      std::uint64_t swap_seq = 0,
+                      std::shared_ptr<const smr::ConflictClassMap> swap_map =
+                          nullptr) {
   kv::KvStore store;
   smr::SessionTable sessions;
   auto executor = [&](const smr::Batch& b) {
@@ -100,6 +103,9 @@ RunResult run_variant(core::SchedulerOptions cfg, unsigned stamp_shards,
     batch->set_sequence(seq);
     if (stamp_shards != 0) batch->build_shard_mask(stamp_shards);
     EXPECT_TRUE(sched.deliver(std::move(batch)));
+    // Mid-run repartition in Replica::deliver order: the control sequence
+    // applies the map, then advances the checkpoint clock.
+    if (swap_seq != 0 && seq == swap_seq) sched.apply_class_map(swap_map, seq);
     mgr.on_delivered(seq);
   }
   sched.wait_idle();
@@ -162,6 +168,53 @@ TEST(CheckpointLockstep, BitIdenticalAcrossSchedulersAndIndexModes) {
       EXPECT_EQ(decoded->log_horizon, (f + 1) * kInterval + 1);
       EXPECT_FALSE(decoded->state.empty());
       EXPECT_FALSE(decoded->sessions.empty());
+    }
+  }
+}
+
+TEST(CheckpointLockstep, BitIdenticalAcrossMidRunRepartition) {
+  // ISSUE 9 acceptance: a kRepartition applied at the same sequence on
+  // every variant leaves checkpoint frames byte-identical — including a
+  // swap landing exactly ON a checkpoint boundary (the two barriers nest).
+  const auto stream = command_stream(29);
+  auto initial = std::make_shared<smr::ConflictClassMap>();
+  initial->add_range(0, 7, 0);
+  initial->add_range(8, 15, 1);
+  auto rebalanced = std::make_shared<smr::ConflictClassMap>();
+  rebalanced->add_range(0, 3, 0);
+  rebalanced->add_range(4, 11, 1);
+  rebalanced->add_range(12, 15, 2);
+
+  core::SchedulerOptions base;
+  base.workers = 4;
+  const RunResult reference = run_variant<core::Scheduler>(base, 0, stream);
+
+  for (const std::uint64_t swap_seq : {std::uint64_t{73}, kInterval * 2}) {
+    std::vector<RunResult> results;
+    results.push_back(
+        run_variant<core::Scheduler>(base, 0, stream, swap_seq, rebalanced));
+    results.push_back(run_variant<core::PipelinedScheduler>(base, 0, stream,
+                                                            swap_seq, rebalanced));
+    core::SchedulerOptions scfg = base;
+    scfg.workers = 2;
+    scfg.shards = 4;
+    results.push_back(
+        run_variant<core::ShardedScheduler>(scfg, 4, stream, swap_seq, rebalanced));
+    core::SchedulerOptions ecfg = base;
+    ecfg.class_map = initial;
+    results.push_back(
+        run_variant<core::EarlyScheduler>(ecfg, 0, stream, swap_seq, rebalanced));
+
+    for (std::size_t v = 0; v < results.size(); ++v) {
+      ASSERT_EQ(results[v].frames.size(), reference.frames.size())
+          << "variant " << v << " swap " << swap_seq;
+      for (std::size_t f = 0; f < reference.frames.size(); ++f) {
+        EXPECT_EQ(results[v].frames[f], reference.frames[f])
+            << "checkpoint " << f << " of variant " << v << " (swap at "
+            << swap_seq << ") is not byte-identical";
+      }
+      EXPECT_EQ(results[v].final_state, reference.final_state);
+      EXPECT_EQ(results[v].final_session_digest, reference.final_session_digest);
     }
   }
 }

@@ -62,10 +62,10 @@ struct Deployment {
                  smr::Proxy::CommandSource source) {
     smr::Proxy::Config pcfg;
     pcfg.proxy_id = proxies.size();
-    pcfg.batch_size = batch_size;
+    pcfg.formation.batch_size = batch_size;
     pcfg.num_clients = 1024;
-    pcfg.use_bitmap = use_bitmap;
-    pcfg.bitmap = bitmap;
+    pcfg.formation.use_bitmap = use_bitmap;
+    pcfg.formation.bitmap = bitmap;
     proxies.push_back(std::make_unique<smr::Proxy>(
         pcfg, std::move(source),
         [this](std::unique_ptr<smr::Batch> b) { adapter->broadcast(std::move(b)); }));

@@ -88,10 +88,10 @@ TEST_P(LinearizabilityTest, PipelineProducesLinearizableHistories) {
   for (unsigned i = 0; i < p.proxies; ++i) {
     smr::Proxy::Config pcfg;
     pcfg.proxy_id = i;
-    pcfg.batch_size = p.batch_size;
+    pcfg.formation.batch_size = p.batch_size;
     pcfg.num_clients = 1024;
-    pcfg.use_bitmap = p.mode == core::ConflictMode::kBitmap;
-    pcfg.bitmap = bitmap;
+    pcfg.formation.use_bitmap = p.mode == core::ConflictMode::kBitmap;
+    pcfg.formation.bitmap = bitmap;
     util::Xoshiro256* rng = rngs[i].get();
     proxies.push_back(std::make_unique<smr::Proxy>(
         pcfg,

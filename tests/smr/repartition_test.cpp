@@ -1,0 +1,229 @@
+// Epoch repartitioning (DESIGN.md §15): kRepartition codec round-trips,
+// malformed-batch rejection, the deterministic split rule, and the
+// Repartitioner's epoch/trigger flow.
+#include "smr/repartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "smr/batch.hpp"
+#include "smr/command.hpp"
+#include "smr/conflict_class.hpp"
+
+namespace psmr::smr {
+namespace {
+
+std::shared_ptr<const ConflictClassMap> four_class_map() {
+  auto m = std::make_shared<ConflictClassMap>();
+  m->add_range(0, 99, 0);
+  m->add_range(100, 199, 1);
+  m->add_range(200, 299, 2);
+  m->add_range(300, 399, 3);
+  return m;
+}
+
+std::vector<std::uint64_t> loads(std::initializer_list<std::uint64_t> per_class) {
+  std::vector<std::uint64_t> v(ConflictClassMap::kMaxClasses + 1, 0);
+  std::size_t i = 0;
+  for (std::uint64_t l : per_class) v[i++] = l;
+  return v;
+}
+
+TEST(RepartitionCodec, RangeMapRoundTripsWithEqualFingerprint) {
+  ConflictClassMap map;
+  map.add_range(0, 999, 0);
+  map.add_range(1000, 4095, 1);
+  map.map_kind(OpType::kRead, 2);
+  map.set_default_class(3);
+  const Batch encoded = encode_repartition(map);
+  ASSERT_TRUE(is_repartition(encoded));
+  for (const Command& c : encoded.commands()) {
+    EXPECT_EQ(c.type, OpType::kRepartition);
+    EXPECT_EQ(c.sequence, 0u);  // untracked: bypasses session dedup
+  }
+  const auto decoded = decode_repartition(encoded);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->fingerprint(), map.fingerprint());
+  EXPECT_EQ(decoded->class_of_key(500), 0u);
+  EXPECT_EQ(decoded->class_of_key(2000), 1u);
+  EXPECT_EQ(decoded->class_of_key(999999), 3u);  // default class
+  Command read;
+  read.type = OpType::kRead;
+  read.key = 5;
+  EXPECT_EQ(decoded->class_of(read), 2u);
+}
+
+TEST(RepartitionCodec, UniformMapRoundTrips) {
+  const ConflictClassMap map = ConflictClassMap::uniform(8);
+  const Batch encoded = encode_repartition(map);
+  ASSERT_TRUE(is_repartition(encoded));
+  EXPECT_EQ(encoded.size(), 1u);  // header only
+  const auto decoded = decode_repartition(encoded);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->fingerprint(), map.fingerprint());
+  EXPECT_EQ(decoded->uniform_classes(), 8u);
+}
+
+TEST(RepartitionCodec, DataBatchesAreNotRepartitions) {
+  Command c;
+  c.type = OpType::kUpdate;
+  c.key = 7;
+  EXPECT_FALSE(is_repartition(Batch({c})));
+  EXPECT_FALSE(is_repartition(Batch(std::vector<Command>{})));
+  // A kRepartition command without the header key is malformed, not a
+  // control batch (the header guards against type-corrupted data batches).
+  Command stray;
+  stray.type = OpType::kRepartition;
+  stray.key = 12345;
+  EXPECT_FALSE(is_repartition(Batch({stray})));
+}
+
+TEST(RepartitionCodec, MalformedRecordsDecodeToNull) {
+  ConflictClassMap map;
+  map.add_range(0, 99, 0);
+  map.add_range(100, 199, 1);
+  const Batch good = encode_repartition(map);
+  // Corrupt each non-header record's tag / fields in turn; decode must
+  // reject rather than abort or build a half-map.
+  for (std::size_t i = 1; i < good.size(); ++i) {
+    std::vector<Command> cmds(good.commands().begin(), good.commands().end());
+    cmds[i].cost_ns = 99;  // unknown tag
+    EXPECT_EQ(decode_repartition(Batch(std::move(cmds))), nullptr);
+
+    cmds.assign(good.commands().begin(), good.commands().end());
+    cmds[i].client_id = ConflictClassMap::kMaxClasses;  // class out of range
+    EXPECT_EQ(decode_repartition(Batch(std::move(cmds))), nullptr);
+  }
+  // Inverted range bounds.
+  std::vector<Command> cmds(good.commands().begin(), good.commands().end());
+  cmds[1].key = cmds[1].value + 1;
+  EXPECT_EQ(decode_repartition(Batch(std::move(cmds))), nullptr);
+}
+
+TEST(SplitHottest, MovesUpperHalfOfHottestRangeToColdest) {
+  const auto map = four_class_map();
+  // Class 0 runs 10x the mean; class 2 is coldest.
+  const auto next =
+      Repartitioner::split_hottest(*map, loads({1000, 40, 10, 50}), 2.0);
+  ASSERT_NE(next, nullptr);
+  EXPECT_NE(next->fingerprint(), map->fingerprint());
+  // [0,99] split at 49: lower half stays class 0, upper half -> class 2.
+  EXPECT_EQ(next->class_of_key(25), 0u);
+  EXPECT_EQ(next->class_of_key(49), 0u);
+  EXPECT_EQ(next->class_of_key(50), 2u);
+  EXPECT_EQ(next->class_of_key(99), 2u);
+  // Every other rule is untouched.
+  EXPECT_EQ(next->class_of_key(150), 1u);
+  EXPECT_EQ(next->class_of_key(250), 2u);
+  EXPECT_EQ(next->class_of_key(350), 3u);
+}
+
+TEST(SplitHottest, DeterministicInItsInputs) {
+  const auto map = four_class_map();
+  const auto a = Repartitioner::split_hottest(*map, loads({900, 10, 10, 10}), 2.0);
+  const auto b = Repartitioner::split_hottest(*map, loads({900, 10, 10, 10}), 2.0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+}
+
+TEST(SplitHottest, NullWhenBalancedOrUnsplittable) {
+  const auto map = four_class_map();
+  // Balanced: trigger not met.
+  EXPECT_EQ(Repartitioner::split_hottest(*map, loads({100, 100, 100, 100}), 2.0),
+            nullptr);
+  // No load at all.
+  EXPECT_EQ(Repartitioner::split_hottest(*map, loads({}), 2.0), nullptr);
+  // Uniform maps have no ranges to split.
+  const ConflictClassMap uniform = ConflictClassMap::uniform(4);
+  EXPECT_EQ(Repartitioner::split_hottest(uniform, loads({900, 1, 1, 1}), 2.0),
+            nullptr);
+  // Single producing class: nowhere to move load.
+  ConflictClassMap one;
+  one.add_range(0, 999, 0);
+  EXPECT_EQ(Repartitioner::split_hottest(one, loads({900}), 2.0), nullptr);
+}
+
+TEST(Repartitioner, ProposesAtEpochBoundaryAndAdopts) {
+  Repartitioner::Config cfg;
+  cfg.epoch_commands = 100;
+  cfg.imbalance_factor = 2.0;
+  Repartitioner rep(cfg, four_class_map());
+  const std::uint64_t initial_fp = rep.current()->fingerprint();
+
+  rep.record(0, 90);
+  rep.record(1, 5);
+  EXPECT_EQ(rep.maybe_repartition(), nullptr);  // epoch not closed (95 < 100)
+  rep.record(2, 3);
+  rep.record(3, 2);
+  const auto proposal = rep.maybe_repartition();
+  ASSERT_NE(proposal, nullptr);
+  EXPECT_NE(proposal->fingerprint(), initial_fp);
+  EXPECT_EQ(rep.current()->fingerprint(), proposal->fingerprint());
+  EXPECT_EQ(rep.epochs_closed(), 1u);
+  EXPECT_EQ(rep.proposals(), 1u);
+  // The epoch reset: no instant re-proposal.
+  EXPECT_EQ(rep.maybe_repartition(), nullptr);
+}
+
+TEST(Repartitioner, BalancedEpochProposesNothing) {
+  Repartitioner::Config cfg;
+  cfg.epoch_commands = 100;
+  Repartitioner rep(cfg, four_class_map());
+  for (std::uint32_t cls = 0; cls < 4; ++cls) rep.record(cls, 25);
+  EXPECT_EQ(rep.maybe_repartition(), nullptr);
+  EXPECT_EQ(rep.epochs_closed(), 1u);
+  EXPECT_EQ(rep.proposals(), 0u);
+}
+
+TEST(Repartitioner, IngestFeedsCumulativeDeltas) {
+  Repartitioner::Config cfg;
+  cfg.epoch_commands = 100;
+  Repartitioner rep(cfg, four_class_map());
+  auto cumulative = loads({50, 5, 5, 5});
+  rep.ingest(cumulative);
+  EXPECT_EQ(rep.maybe_repartition(), nullptr);  // 65 observed
+  cumulative[0] = 85;  // +35 on the hot class
+  rep.ingest(cumulative);
+  const auto proposal = rep.maybe_repartition();  // 100 observed, skewed
+  ASSERT_NE(proposal, nullptr);
+  // Re-ingesting identical cumulative values adds nothing.
+  rep.ingest(cumulative);
+  EXPECT_EQ(rep.maybe_repartition(), nullptr);
+}
+
+TEST(Repartitioner, DisabledWhenEpochZero) {
+  Repartitioner::Config cfg;
+  cfg.epoch_commands = 0;
+  Repartitioner rep(cfg, four_class_map());
+  rep.record(0, 1000000);
+  EXPECT_EQ(rep.maybe_repartition(), nullptr);
+  EXPECT_EQ(rep.epochs_closed(), 0u);
+}
+
+TEST(Repartitioner, RepeatedSplitsStayLegalUnderSustainedSkew) {
+  // Drive many epochs of the same skewed load; every proposal must decode
+  // what it encodes (broadcastability) and keep total key coverage.
+  Repartitioner::Config cfg;
+  cfg.epoch_commands = 10;
+  Repartitioner rep(cfg, four_class_map());
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    rep.record(0, 9);
+    rep.record(1, 1);
+    const auto proposal = rep.maybe_repartition();
+    if (proposal != nullptr) {
+      const auto decoded = decode_repartition(encode_repartition(*proposal));
+      ASSERT_NE(decoded, nullptr);
+      EXPECT_EQ(decoded->fingerprint(), proposal->fingerprint());
+      for (Key k = 0; k < 400; ++k) {
+        EXPECT_NE(decoded->class_of_key(k), ConflictClassMap::kUnclassified)
+            << "key " << k << " lost coverage after epoch " << epoch;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psmr::smr

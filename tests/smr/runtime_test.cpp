@@ -119,7 +119,7 @@ TEST(Proxy, ClosedLoopCompletesBatches) {
 
   Proxy::Config pcfg;
   pcfg.proxy_id = 0;
-  pcfg.batch_size = 10;
+  pcfg.formation.batch_size = 10;
   pcfg.num_clients = 4;
   util::Xoshiro256 rng(3);
   Proxy proxy(
@@ -153,9 +153,9 @@ TEST(Proxy, AttachesBitmapWhenConfigured) {
   });
 
   Proxy::Config pcfg;
-  pcfg.batch_size = 5;
-  pcfg.use_bitmap = true;
-  pcfg.bitmap.bits = 1024;
+  pcfg.formation.batch_size = 5;
+  pcfg.formation.use_bitmap = true;
+  pcfg.formation.bitmap.bits = 1024;
   Proxy proxy(
       pcfg,
       [](std::uint64_t, std::uint64_t seq) {
@@ -190,7 +190,7 @@ TEST(Proxy, DuplicateResponsesCountedOnce) {
   rb.start();
 
   Proxy::Config pcfg;
-  pcfg.batch_size = 8;
+  pcfg.formation.batch_size = 8;
   std::atomic<std::uint64_t> next_key{1};
   Proxy proxy(
       pcfg,
