@@ -5,6 +5,13 @@
 // bench quantifies what the consensus substrate itself can sustain on this
 // host, wall-clock, single core).
 //
+// `--socket` adds the socket-transport rows (DESIGN.md §16): the same
+// substrates reached through a BroadcastRelayServer over real loopback TCP
+// via RemoteBroadcastClient, quantifying what the relay + framing + epoll
+// path costs versus the in-process call. Also writes METRICS_transport.json
+// (psmr.metrics.v1 carrying the transport.* family). `--smoke` shrinks the
+// message count for CI.
+//
 // Env: PSMR_MSGS=<n> messages per configuration (default 4000).
 #include <atomic>
 #include <chrono>
@@ -15,6 +22,9 @@
 #include <thread>
 
 #include "consensus/group.hpp"
+#include "consensus/socket_broadcast.hpp"
+#include "net/socket_transport.hpp"
+#include "obs/metrics.hpp"
 #include "stats/histogram.hpp"
 #include "stats/table.hpp"
 #include "util/time.hpp"
@@ -76,12 +86,70 @@ RunResult run(psmr::consensus::AtomicBroadcast& ab, std::uint64_t messages,
   return r;
 }
 
+/// Runs `inner` behind a relay server on one loopback transport and drives
+/// it through a RemoteBroadcastClient on another — the full remote-replica
+/// path (broadcast and delivery each cross a TCP connection). Both
+/// transports share `reg`, so one transport.* export covers the pair.
+RunResult run_over_socket(psmr::consensus::AtomicBroadcast& inner,
+                          std::uint64_t messages, std::size_t payload_bytes,
+                          std::shared_ptr<psmr::obs::MetricsRegistry> reg) {
+  namespace net = psmr::net;
+  namespace consensus = psmr::consensus;
+  net::SocketTransportConfig scfg;
+  scfg.peers[1] = {};
+  scfg.metrics = reg;
+  net::SocketTransport server_transport(scfg);
+  consensus::RelayServerConfig rcfg;
+  rcfg.process = 1;
+  consensus::BroadcastRelayServer relay(server_transport, inner, rcfg);
+  relay.start();
+
+  net::SocketTransportConfig ccfg;
+  ccfg.peers[2] = {};
+  ccfg.peers[1] = net::SocketAddr{"127.0.0.1", server_transport.listen_port(1)};
+  ccfg.metrics = reg;
+  net::SocketTransport client_transport(ccfg);
+  consensus::RemoteClientConfig cc;
+  cc.process = 2;
+  cc.server = 1;
+  consensus::RemoteBroadcastClient client(client_transport, cc);
+  server_transport.set_peer(2, net::SocketAddr{"127.0.0.1", client_transport.listen_port(2)});
+
+  inner.start();
+  const RunResult r = run(client, messages, payload_bytes);
+  relay.stop();
+  inner.stop();
+  client_transport.shutdown();
+  server_transport.shutdown();
+  return r;
+}
+
+int write_metrics_export(const char* path, const psmr::obs::Snapshot& snap) {
+  FILE* mf = std::fopen(path, "w");
+  if (mf == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  const std::string json = snap.to_json();
+  std::fwrite(json.data(), 1, json.size(), mf);
+  std::fputc('\n', mf);
+  std::fclose(mf);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::uint64_t messages = 4000;
   if (const char* s = std::getenv("PSMR_MSGS")) messages = std::strtoull(s, nullptr, 10);
+  bool socket_rows = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) socket_rows = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) messages = 500;
+  }
 
+  auto transport_reg = std::make_shared<psmr::obs::MetricsRegistry>();
   std::printf("Atomic broadcast substrates (%llu messages, 1 learner, wall clock)\n\n",
               static_cast<unsigned long long>(messages));
   Table table({"Substrate", "Payload (B)", "Throughput (kMsgs/s)", "p50 lat (us)",
@@ -112,6 +180,27 @@ int main() {
                      Table::fmt(r.kmsgs_per_sec, 1), Table::fmt(r.p50_us, 1),
                      Table::fmt(r.p99_us, 1)});
     }
+    if (socket_rows) {
+      {
+        psmr::consensus::LocalBroadcast lb;
+        const auto r = run_over_socket(lb, messages, payload, transport_reg);
+        table.add_row({"Relay/socket (LocalBroadcast inner)", Table::fmt_int(payload),
+                       Table::fmt(r.kmsgs_per_sec, 1), Table::fmt(r.p50_us, 1),
+                       Table::fmt(r.p99_us, 1)});
+      }
+      {
+        psmr::consensus::GroupConfig cfg;
+        psmr::consensus::PaxosGroup group(cfg);
+        const auto r = run_over_socket(group, messages, payload, transport_reg);
+        table.add_row({"Relay/socket (Multi-Paxos inner)", Table::fmt_int(payload),
+                       Table::fmt(r.kmsgs_per_sec, 1), Table::fmt(r.p50_us, 1),
+                       Table::fmt(r.p99_us, 1)});
+      }
+    }
+  }
+  if (socket_rows &&
+      write_metrics_export("METRICS_transport.json", transport_reg->snapshot()) != 0) {
+    return 1;
   }
   table.print();
   std::printf("\nNote: single-core host; all roles timeshare one CPU, so these are\n"

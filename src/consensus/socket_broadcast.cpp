@@ -1,0 +1,267 @@
+#include "consensus/socket_broadcast.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psmr::consensus {
+
+// ----------------------------------------------------------------- server --
+
+bool BroadcastRelayServer::ClientDedup::insert(std::uint64_t id) {
+  if (id <= floor || above.contains(id)) return false;
+  above.insert(id);
+  // Advance the contiguous floor over whatever it now touches, shrinking
+  // the stored set (client request ids are assigned 1, 2, 3, ...).
+  while (above.erase(floor + 1) != 0) ++floor;
+  return true;
+}
+
+BroadcastRelayServer::BroadcastRelayServer(net::SocketTransport& transport,
+                                           AtomicBroadcast& inner,
+                                           RelayServerConfig config)
+    : transport_(transport), inner_(inner), config_(config) {}
+
+BroadcastRelayServer::~BroadcastRelayServer() { stop(); }
+
+void BroadcastRelayServer::start() {
+  PSMR_CHECK(!started_);
+  started_ = true;
+  endpoint_ = transport_.register_process(config_.process);
+  // Subscribe BEFORE the inner broadcast starts (AtomicBroadcast contract) —
+  // callers construct/start() the relay first, then start the inner group.
+  inner_.subscribe([this](std::uint64_t seq, Value payload) {
+    std::lock_guard lk(mu_);
+    // The inner stream is gap-free and 1-based; retain every entry so late
+    // or restarted subscribers can replay from any sequence.
+    PSMR_DCHECK(seq == log_.size() + 1);
+    if (seq > log_.size()) log_.resize(seq);
+    log_[seq - 1] = std::move(payload);
+    pump_locked();  // push the new entry to in-window subscribers now
+  });
+  serve_thread_ = std::thread([this] { serve_loop(); });
+}
+
+void BroadcastRelayServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+std::uint64_t BroadcastRelayServer::log_size() const {
+  std::lock_guard lk(mu_);
+  return log_.size();
+}
+
+void BroadcastRelayServer::serve_loop() {
+  auto last_retx = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (auto env = endpoint_->recv_for(config_.retransmit_period)) {
+      handle(*env);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_retx >= config_.retransmit_period) {
+      last_retx = now;
+      std::lock_guard lk(mu_);
+      // Unacked window entries may have been shed by the transport (dead
+      // connection, buffer cap): pull every stream back to its ack point
+      // and replay. Subscribers drop the duplicates by sequence.
+      for (auto& [id, sub] : subscribers_) sub.sent_until = sub.acked;
+      pump_locked();
+    }
+  }
+}
+
+void BroadcastRelayServer::handle(const net::SocketEnvelope& env) {
+  const auto msg = relay::decode(env.msg);
+  if (!msg) return;  // malformed: drop; retransmission covers real traffic
+  std::unique_lock lk(mu_);
+  switch (msg->kind) {
+    case relay::kSubscribe: {
+      // arg = first sequence wanted. Doubles as the periodic NACK: the
+      // client repeats it with its current progress, and the replay point
+      // snaps back there.
+      Subscriber& sub = subscribers_[env.from];
+      sub.acked = msg->arg == 0 ? 0 : msg->arg - 1;
+      sub.sent_until = sub.acked;
+      pump_locked();
+      break;
+    }
+    case relay::kAck: {
+      auto it = subscribers_.find(env.from);
+      if (it == subscribers_.end()) break;
+      it->second.acked = std::max(it->second.acked, msg->arg);
+      it->second.sent_until = std::max(it->second.sent_until, it->second.acked);
+      pump_locked();
+      break;
+    }
+    case relay::kBroadcast: {
+      const bool fresh = seen_requests_[env.from].insert(msg->arg);
+      Value payload;
+      if (fresh) {
+        payload = std::make_shared<const std::vector<std::uint8_t>>(msg->payload);
+      }
+      lk.unlock();
+      // inner_.broadcast may block (consensus backpressure) — never under mu_.
+      if (fresh) inner_.broadcast(std::move(payload));
+      // Always ack, including duplicates: the first ack may have been lost.
+      (void)transport_.send(config_.process, env.from,
+                            relay::encode(relay::kBroadcastAck, msg->arg));
+      break;
+    }
+    default:
+      break;  // kDeliver / kBroadcastAck are client-bound; ignore
+  }
+}
+
+void BroadcastRelayServer::pump_locked() {
+  for (auto& [id, sub] : subscribers_) {
+    while (sub.sent_until < log_.size() &&
+           sub.sent_until - sub.acked < config_.window) {
+      const std::uint64_t seq = sub.sent_until + 1;
+      const Value& v = log_[seq - 1];
+      (void)transport_.send(config_.process, id,
+                            relay::encode(relay::kDeliver, seq, v->data(), v->size()));
+      ++sub.sent_until;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- client --
+
+RemoteBroadcastClient::RemoteBroadcastClient(net::SocketTransport& transport,
+                                             RemoteClientConfig config)
+    : transport_(transport), config_(config), next_seq_(config.start_seq) {
+  // Register (and bind the listener) at construction so the caller can read
+  // transport.listen_port(process) and hand it to the relay's peer map
+  // before any thread runs. Frames arriving before start() just buffer in
+  // the endpoint inbox.
+  endpoint_ = transport_.register_process(config_.process);
+}
+
+RemoteBroadcastClient::~RemoteBroadcastClient() { stop(); }
+
+void RemoteBroadcastClient::subscribe(DeliverFn fn) {
+  PSMR_CHECK(!started_);
+  subscribers_.push_back(std::move(fn));
+}
+
+void RemoteBroadcastClient::start() {
+  PSMR_CHECK(!started_);
+  started_ = true;
+  (void)transport_.send(config_.process, config_.server,
+                        relay::encode(relay::kSubscribe, next_seq_));
+  recv_thread_ = std::thread([this] { recv_loop(); });
+}
+
+void RemoteBroadcastClient::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (recv_thread_.joinable()) recv_thread_.join();
+}
+
+void RemoteBroadcastClient::broadcast(Value payload) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lk(mu_);
+    id = next_request_id_++;
+    unacked_broadcasts_.emplace(id, payload);
+  }
+  (void)transport_.send(config_.process, config_.server,
+                        relay::encode(relay::kBroadcast, id, payload->data(),
+                                      payload->size()));
+}
+
+std::uint64_t RemoteBroadcastClient::next_seq() const {
+  std::lock_guard lk(mu_);
+  return next_seq_;
+}
+
+void RemoteBroadcastClient::recv_loop() {
+  auto last_retx = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (auto env = endpoint_->recv_for(config_.retransmit_period)) {
+      handle(*env);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_retx >= config_.retransmit_period) {
+      last_retx = now;
+      std::lock_guard lk(mu_);
+      retransmit_locked();
+    }
+  }
+}
+
+void RemoteBroadcastClient::retransmit_locked() {
+  // kSubscribe doubles as keepalive and NACK: it tells the relay exactly
+  // where this client's gap-free prefix ends, and snaps the replay stream
+  // back there. Covers lost deliveries AND relay-side subscriber loss
+  // (e.g. a restarted relay process).
+  (void)transport_.send(config_.process, config_.server,
+                        relay::encode(relay::kSubscribe, next_seq_));
+  for (const auto& [id, payload] : unacked_broadcasts_) {
+    (void)transport_.send(config_.process, config_.server,
+                          relay::encode(relay::kBroadcast, id, payload->data(),
+                                        payload->size()));
+  }
+}
+
+void RemoteBroadcastClient::handle(const net::SocketEnvelope& env) {
+  auto msg = relay::decode(env.msg);
+  if (!msg) return;
+  // Deliverables are collected under the lock but invoked outside it, so a
+  // DeliverFn that calls back into broadcast() (or blocks) cannot deadlock.
+  std::vector<std::pair<std::uint64_t, Value>> deliver;
+  {
+    std::lock_guard lk(mu_);
+    switch (msg->kind) {
+      case relay::kDeliver: {
+        const std::uint64_t seq = msg->arg;
+        if (seq < next_seq_) break;  // duplicate: ack below re-advances relay
+        if (seq > next_seq_) {
+          // Out of order: hold until the gap fills, bounded; overflow is
+          // dropped and re-covered by the relay's replay.
+          if (reorder_.size() < config_.reorder_buffer) {
+            reorder_.emplace(seq, std::move(msg->payload));
+          }
+          break;
+        }
+        deliver.emplace_back(
+            seq, std::make_shared<const std::vector<std::uint8_t>>(
+                     std::move(msg->payload)));
+        ++next_seq_;
+        // The new arrival may have filled the gap in front of buffered
+        // successors: drain the now-contiguous run.
+        for (auto it = reorder_.find(next_seq_); it != reorder_.end();
+             it = reorder_.find(next_seq_)) {
+          deliver.emplace_back(
+              it->first, std::make_shared<const std::vector<std::uint8_t>>(
+                             std::move(it->second)));
+          reorder_.erase(it);
+          ++next_seq_;
+        }
+        break;
+      }
+      case relay::kBroadcastAck:
+        unacked_broadcasts_.erase(msg->arg);
+        break;
+      default:
+        break;  // kSubscribe/kAck/kBroadcast are server-bound; ignore
+    }
+  }
+  if (!deliver.empty()) {
+    for (auto& [seq, value] : deliver) {
+      for (const DeliverFn& fn : subscribers_) fn(seq, value);
+    }
+    const std::uint64_t acked = deliver.back().first;
+    (void)transport_.send(config_.process, config_.server,
+                          relay::encode(relay::kAck, acked));
+  } else if (msg->kind == relay::kDeliver && msg->arg < next_seq()) {
+    // Pure duplicate: still ack so a relay replaying from an old point
+    // advances without waiting for the periodic resubscribe.
+    (void)transport_.send(config_.process, config_.server,
+                          relay::encode(relay::kAck, next_seq() - 1));
+  }
+}
+
+}  // namespace psmr::consensus

@@ -1,0 +1,218 @@
+// Atomic broadcast over the socket transport (DESIGN.md §16).
+//
+// The ordering machinery (PaxosGroup over the simulated net, or
+// LocalBroadcast) stays inside ONE process; what crosses process boundaries
+// is the ordered stream. Two halves:
+//
+//   * BroadcastRelayServer — runs in the ordering process. Wraps any inner
+//     AtomicBroadcast, retains its decided log, and streams it to remote
+//     subscribers as kDeliver frames, retransmitting past each subscriber's
+//     cumulative ack until acknowledged. Remote broadcast() calls arrive as
+//     kBroadcast frames, are deduplicated by (client process, request id),
+//     forwarded to the inner broadcast, and acknowledged.
+//
+//   * RemoteBroadcastClient — an AtomicBroadcast implementation for replica
+//     processes. subscribe/start/stop/broadcast have exactly the inner
+//     semantics, so the consensus adapter, replicas, and proxies run
+//     unmodified over it. Delivery is gap-free: frames arriving out of
+//     order are buffered until the gap fills (the relay retransmits), and
+//     duplicates are dropped by sequence. broadcast() retransmits its
+//     kBroadcast until the relay acks the request id.
+//
+// Loss model: transport frames may vanish (connection death sheds buffered
+// frames; the send buffer sheds at its cap). Both halves therefore
+// retransmit on a period — the same sender-persistence argument the paper
+// makes for fair-lossy links (§II) — and dedup on the receive side, so the
+// stream each subscriber observes is the inner broadcast's total order,
+// exactly once.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/group.hpp"
+#include "consensus/types.hpp"
+#include "net/socket_transport.hpp"
+
+namespace psmr::consensus {
+
+// ------------------------------------------------------------ wire format --
+// Relay messages ride inside transport frame payloads:
+//   [u8 kind][u64 arg][optional payload bytes]     (native endianness —
+// the transport targets same-host loopback; cross-arch wire compat is out
+// of scope, matching net/framing.hpp).
+namespace relay {
+
+constexpr std::uint8_t kSubscribe = 1;     // arg = first sequence wanted
+constexpr std::uint8_t kDeliver = 2;       // arg = sequence, payload = value
+constexpr std::uint8_t kAck = 3;           // arg = highest contiguous seq seen
+constexpr std::uint8_t kBroadcast = 4;     // arg = request id, payload = value
+constexpr std::uint8_t kBroadcastAck = 5;  // arg = request id
+
+constexpr std::size_t kMsgHeaderBytes = 1 + 8;
+
+inline std::vector<std::uint8_t> encode(std::uint8_t kind, std::uint64_t arg,
+                                        const std::uint8_t* payload = nullptr,
+                                        std::size_t payload_len = 0) {
+  std::vector<std::uint8_t> out(kMsgHeaderBytes + payload_len);
+  out[0] = kind;
+  std::memcpy(out.data() + 1, &arg, 8);
+  if (payload_len != 0) std::memcpy(out.data() + kMsgHeaderBytes, payload, payload_len);
+  return out;
+}
+
+struct Decoded {
+  std::uint8_t kind = 0;
+  std::uint64_t arg = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// nullopt on malformed input (too short / unknown kind) — the receiver
+/// drops the message; retransmission covers anything legitimate.
+inline std::optional<Decoded> decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kMsgHeaderBytes) return std::nullopt;
+  Decoded d;
+  d.kind = bytes[0];
+  if (d.kind < kSubscribe || d.kind > kBroadcastAck) return std::nullopt;
+  std::memcpy(&d.arg, bytes.data() + 1, 8);
+  d.payload.assign(bytes.begin() + kMsgHeaderBytes, bytes.end());
+  return d;
+}
+
+}  // namespace relay
+
+// ----------------------------------------------------------------- server --
+
+struct RelayServerConfig {
+  /// Transport process id the server listens as.
+  net::ProcessId process = 0;
+  /// Retransmission / housekeeping period of the serve loop.
+  std::chrono::milliseconds retransmit_period{20};
+  /// Max unacked kDeliver frames streamed ahead per subscriber.
+  std::size_t window = 256;
+};
+
+/// Bridges an in-process AtomicBroadcast onto the socket transport. Owns a
+/// serve thread; the inner broadcast's delivery callback may run on any
+/// thread. Does NOT own the inner broadcast or the transport.
+class BroadcastRelayServer {
+ public:
+  BroadcastRelayServer(net::SocketTransport& transport, AtomicBroadcast& inner,
+                       RelayServerConfig config);
+  ~BroadcastRelayServer();
+
+  BroadcastRelayServer(const BroadcastRelayServer&) = delete;
+  BroadcastRelayServer& operator=(const BroadcastRelayServer&) = delete;
+
+  /// Registers the server's transport process, hooks the inner broadcast's
+  /// delivery stream, and starts the serve thread. The caller starts the
+  /// inner broadcast itself (it may have been started long before).
+  void start();
+  void stop();
+
+  /// Decided entries retained for replay (diagnostics/tests).
+  std::uint64_t log_size() const;
+
+ private:
+  struct Subscriber {
+    std::uint64_t acked = 0;       // cumulative: all seq <= acked received
+    std::uint64_t sent_until = 0;  // optimistically streamed ahead to here
+  };
+
+  void serve_loop();
+  void handle(const net::SocketEnvelope& env);
+  void pump_locked();  // stream/retransmit log entries to subscribers
+
+  net::SocketTransport& transport_;
+  AtomicBroadcast& inner_;
+  RelayServerConfig config_;
+  net::SocketEndpoint* endpoint_ = nullptr;
+
+  /// Dedup of remote broadcast requests: ids <= floor are all seen; only
+  /// the (small, out-of-order) ids above it are stored, so the set stays
+  /// bounded as the contiguous prefix advances.
+  struct ClientDedup {
+    std::uint64_t floor = 0;
+    std::unordered_set<std::uint64_t> above;
+    bool insert(std::uint64_t id);  // false if already seen
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Value> log_;  // seq s lives at log_[s - 1]
+  std::unordered_map<net::ProcessId, Subscriber> subscribers_;
+  std::unordered_map<net::ProcessId, ClientDedup> seen_requests_;
+
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread serve_thread_;
+};
+
+// ----------------------------------------------------------------- client --
+
+struct RemoteClientConfig {
+  /// Transport process id this client listens as.
+  net::ProcessId process = 0;
+  /// The relay server's transport process id.
+  net::ProcessId server = 0;
+  /// First sequence to deliver — > 1 after installing a snapshot covering
+  /// the prefix (mirrors PaxosGroup::add_learner's from_instance).
+  std::uint64_t start_seq = 1;
+  /// (Re)subscribe + broadcast retransmission period.
+  std::chrono::milliseconds retransmit_period{20};
+  /// Cap on buffered out-of-order deliveries; overflow is dropped and
+  /// re-covered by relay retransmission.
+  std::size_t reorder_buffer = 1024;
+};
+
+/// AtomicBroadcast over a relay connection — drop-in for LocalBroadcast /
+/// PaxosGroup in a remote replica process. Deliveries run on the client's
+/// receive thread, in sequence order, gap-free.
+///
+/// The constructor registers `config.process` with the transport (binding
+/// its listener), so the resolved listen_port is available for wiring
+/// before start() spawns any thread.
+class RemoteBroadcastClient final : public AtomicBroadcast {
+ public:
+  RemoteBroadcastClient(net::SocketTransport& transport, RemoteClientConfig config);
+  ~RemoteBroadcastClient() override;
+
+  void subscribe(DeliverFn fn) override;
+  void start() override;
+  void stop() override;
+  void broadcast(Value payload) override;
+
+  /// Next sequence this client will deliver (tests).
+  std::uint64_t next_seq() const;
+
+ private:
+  void recv_loop();
+  void handle(const net::SocketEnvelope& env);
+  void retransmit_locked();
+
+  net::SocketTransport& transport_;
+  RemoteClientConfig config_;
+  net::SocketEndpoint* endpoint_ = nullptr;
+  std::vector<DeliverFn> subscribers_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> reorder_;  // seq -> payload
+  std::unordered_map<std::uint64_t, Value> unacked_broadcasts_;
+  std::uint64_t next_request_id_ = 1;
+
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread recv_thread_;
+};
+
+}  // namespace psmr::consensus

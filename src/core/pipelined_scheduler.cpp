@@ -120,7 +120,9 @@ void PipelinedScheduler::begin_barrier(std::uint64_t seq) {
     barrier_quiesced_ = false;
   }
   metrics_->counter("scheduler.barriers").add(1);
-  events_.push(Event{BarrierArm{seq}});
+  // A false push means the event queue was closed by stop(); await_barrier()
+  // then unblocks on stopping_ instead of quiescence.
+  (void)events_.push(Event{BarrierArm{seq}});
 }
 
 void PipelinedScheduler::await_barrier() {
@@ -133,7 +135,8 @@ void PipelinedScheduler::await_barrier() {
 
 void PipelinedScheduler::release_barrier() {
   if (!barrier_public_.exchange(false)) return;  // idempotent
-  events_.push(Event{BarrierRelease{}});
+  // After stop() closes the queue there is no armed barrier left to release.
+  (void)events_.push(Event{BarrierRelease{}});
 }
 
 void PipelinedScheduler::drain_to_sequence(std::uint64_t seq) {
@@ -219,8 +222,8 @@ void PipelinedScheduler::scheduler_loop() {
           barrier_armed_ ? barrier_seq_
                          : std::numeric_limits<std::uint64_t>::max());
       if (node == nullptr) break;
+      if (!ready_.push(node)) break;  // closed by stop(); no worker will run it
       ++inflight_;
-      ready_.push(node);
     }
   };
   // Quiescence check, run after every event that can shrink the <= barrier
@@ -327,7 +330,9 @@ void PipelinedScheduler::worker_loop(unsigned worker_index) {
       batches_failed_metric_->add(1);
       if (on_failure_) on_failure_(*batch, what);
     }
-    events_.push(Event{Completion{*node, /*failed=*/!ok}});
+    // Closed only during stop(), which drained via wait_idle() first — a
+    // lost Completion here has no accounting left to update.
+    (void)events_.push(Event{Completion{*node, /*failed=*/!ok}});
   }
 }
 

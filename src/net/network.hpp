@@ -18,7 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +29,8 @@
 #include "util/time.hpp"
 
 namespace psmr::net {
+
+class SocketTransport;  // socket_transport.hpp — shares Endpoint<M>
 
 using ProcessId = std::uint32_t;
 
@@ -80,6 +82,7 @@ class Endpoint {
  private:
   template <typename>
   friend class Network;
+  friend class SocketTransport;  // same endpoint type over real sockets
 
   ProcessId id_;
   util::BlockingQueue<Envelope<M>> inbox_;
@@ -142,9 +145,12 @@ class Network {
     isolated_[p] = isolated;
   }
 
-  /// Sends msg from -> to, applying the link's fault plan. Returns false if
-  /// the destination is unknown (message silently dropped — consistent with
-  /// an asynchronous network).
+  /// Sends msg from -> to, applying the link's fault plan. Returns false
+  /// only when nothing was accepted: the destination is unknown, or the
+  /// network shut down before any copy was enqueued. A fault-dropped
+  /// message still returns true (sent into the void — consistent with an
+  /// asynchronous network), and so does a send whose first copy reached the
+  /// inbox even if shutdown raced the second.
   bool send(ProcessId from, ProcessId to, M msg) {
     std::unique_lock lk(mu_);
     if (shutdown_) return false;
@@ -164,30 +170,45 @@ class Network {
       copies = 2;
       ++duplicated_;
     }
-    ++delivered_;
+    // Counter invariant (regression-tested): every copy a send creates is
+    // eventually counted EXACTLY once as delivered (enqueued into an inbox,
+    // immediately or by the pacer) or dropped (fault, shed, shutdown race).
+    bool any_accepted = false;
     for (int c = 0; c < copies; ++c) {
       const std::uint64_t delay_us = sample_delay_locked(cfg);
       if (delay_us == 0) {
         Endpoint<M>* ep = it->second.get();
         lk.unlock();
-        ep->inbox_.push(Envelope<M>{from, to, msg});
+        const bool pushed = ep->inbox_.push(Envelope<M>{from, to, msg});
         lk.lock();
-        if (shutdown_) return false;
-        it = endpoints_.find(to);
-        if (it == endpoints_.end()) return false;
+        if (pushed) {
+          ++delivered_;
+          any_accepted = true;
+        } else {
+          ++dropped_;  // inbox closed by a racing shutdown: not enqueued
+        }
+        if (shutdown_ || (it = endpoints_.find(to)) == endpoints_.end()) {
+          dropped_ += static_cast<std::uint64_t>(copies - c - 1);
+          return any_accepted;
+        }
       } else {
         if (heap_.size() >= pacer_capacity_) {
-          // Timer heap at capacity: shed the OLDEST pending delivery (the
-          // heap top — the one due soonest) to admit the new one. Dropping
-          // is always legal on a fair-lossy link; bounding the heap is what
-          // keeps a delay-heavy overload from growing pacer memory without
-          // limit. Retransmission recovers whatever mattered.
-          heap_.pop();
+          // Timer heap at capacity: shed the LATEST-due pending delivery —
+          // or reject the newcomer when IT would be the latest — never the
+          // soonest-due one, which is about to complete. Dropping is always
+          // legal on a fair-lossy link; bounding the heap is what keeps a
+          // delay-heavy overload from growing pacer memory without limit,
+          // and retransmission recovers whatever mattered.
+          const std::uint64_t due = util::now_ns() + delay_us * 1000;
           ++pacer_shed_;
           ++dropped_;
+          auto latest = std::prev(heap_.end());
+          if (latest->deliver_at_ns <= due) continue;  // newcomer sheds itself
+          heap_.erase(latest);
         }
-        heap_.push(Delayed{util::now_ns() + delay_us * 1000, seq_++,
-                           Envelope<M>{from, to, msg}});
+        heap_.insert(Delayed{util::now_ns() + delay_us * 1000, seq_++,
+                             Envelope<M>{from, to, msg}});
+        any_accepted = true;
         pacer_cv_.notify_one();
       }
     }
@@ -209,13 +230,23 @@ class Network {
     pacer_cv_.notify_all();
     if (pacer_.joinable()) pacer_.join();
     std::lock_guard lk(mu_);
+    // Delayed copies still pending at shutdown will never be delivered:
+    // account them as dropped so delivered + dropped stays balanced.
+    dropped_ += heap_.size();
+    heap_.clear();
     for (auto& [id, ep] : endpoints_) ep->inbox_.close();
   }
 
+  /// Copies actually enqueued into an inbox — duplicated copies count twice,
+  /// delayed copies count when the pacer hands them over, and a copy that is
+  /// shed or lost to a shutdown race is never counted here.
   std::uint64_t messages_delivered() const {
     std::lock_guard lk(mu_);
     return delivered_;
   }
+  /// Copies that will never reach an inbox: fault drops, isolation, pacer
+  /// sheds, and shutdown races. Invariant once the pacer is drained:
+  /// delivered + dropped == accepted sends + duplicated copies.
   std::uint64_t messages_dropped() const {
     std::lock_guard lk(mu_);
     return dropped_;
@@ -232,8 +263,9 @@ class Network {
     return pacer_shed_;
   }
 
-  /// Caps the pacer timer heap (delayed in-flight messages). Oldest-first
-  /// shedding kicks in at the cap. Must be >= 1.
+  /// Caps the pacer timer heap (delayed in-flight messages). Latest-due
+  /// shedding kicks in at the cap (soon-due deliveries are never the
+  /// victim). Must be >= 1.
   void set_pacer_capacity(std::size_t capacity) {
     std::lock_guard lk(mu_);
     PSMR_CHECK(capacity >= 1);
@@ -245,9 +277,11 @@ class Network {
     std::uint64_t deliver_at_ns;
     std::uint64_t seq;  // FIFO tiebreak for equal deadlines
     Envelope<M> env;
-    bool operator>(const Delayed& o) const {
-      if (deliver_at_ns != o.deliver_at_ns) return deliver_at_ns > o.deliver_at_ns;
-      return seq > o.seq;
+    // Ordered multiset: begin() is the soonest-due delivery (what the pacer
+    // services), prev(end()) the latest-due (what capacity shedding evicts).
+    bool operator<(const Delayed& o) const {
+      if (deliver_at_ns != o.deliver_at_ns) return deliver_at_ns < o.deliver_at_ns;
+      return seq < o.seq;
     }
   };
 
@@ -279,19 +313,28 @@ class Network {
         continue;
       }
       const std::uint64_t now = util::now_ns();
-      if (heap_.top().deliver_at_ns <= now) {
-        Delayed d = heap_.top();
-        heap_.pop();
+      if (heap_.begin()->deliver_at_ns <= now) {
+        Delayed d = std::move(heap_.extract(heap_.begin()).value());
         auto it = endpoints_.find(d.env.to);
         if (it != endpoints_.end()) {
           Endpoint<M>* ep = it->second.get();
           lk.unlock();
-          ep->inbox_.push(std::move(d.env));
+          const bool pushed = ep->inbox_.push(std::move(d.env));
           lk.lock();
+          // Delayed copies are counted when they actually reach an inbox —
+          // not at send() time — so delivered_ never counts a copy the
+          // capacity shed (or a shutdown race) later discarded.
+          if (pushed) {
+            ++delivered_;
+          } else {
+            ++dropped_;
+          }
+        } else {
+          ++dropped_;
         }
       } else {
         const auto deadline = util::Clock::time_point(
-            std::chrono::nanoseconds(heap_.top().deliver_at_ns));
+            std::chrono::nanoseconds(heap_.begin()->deliver_at_ns));
         pacer_cv_.wait_until(lk, deadline);
       }
     }
@@ -303,7 +346,10 @@ class Network {
   std::unordered_map<std::uint64_t, LinkConfig> links_;
   std::unordered_map<ProcessId, bool> isolated_;
   LinkConfig default_link_;
-  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> heap_;
+  // Pending delayed deliveries, ordered by due time (see Delayed::operator<).
+  // A multiset rather than a priority_queue so capacity shedding can evict
+  // the LATEST-due entry (prev(end())) in O(log n).
+  std::multiset<Delayed> heap_;
   util::Xoshiro256 rng_;
   std::uint64_t seq_ = 0;
   std::uint64_t delivered_ = 0;

@@ -1,0 +1,66 @@
+// Thin RAII wrapper over epoll (level-triggered) for the socket transport.
+//
+// Level-triggered is deliberate: the IO loop re-arms nothing and cannot lose
+// a readiness edge across the reconnect/teardown paths — a fd with pending
+// bytes or writable space simply shows up again on the next wait. The
+// transport's single IO thread owns the Poller; no concurrent use.
+#pragma once
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace psmr::net {
+
+class Poller {
+ public:
+  Poller() : fd_(::epoll_create1(EPOLL_CLOEXEC)) { PSMR_CHECK(fd_ >= 0); }
+  ~Poller() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); `tag` comes back in
+  /// epoll_event::data.u64. Returns false on EPOLL_CTL_ADD failure.
+  bool add(int fd, std::uint32_t events, std::uint64_t tag) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    return ::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  /// Changes the interest set of an already-registered fd.
+  bool mod(int fd, std::uint32_t events, std::uint64_t tag) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    return ::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+
+  /// Deregisters a fd (safe to call for fds that were never added).
+  void del(int fd) { ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  /// Waits up to `timeout_ms` (-1 = forever) and fills `out`. Returns the
+  /// number of ready events; 0 on timeout. EINTR retries internally.
+  int wait(std::span<epoll_event> out, int timeout_ms) {
+    for (;;) {
+      const int n = ::epoll_wait(fd_, out.data(), static_cast<int>(out.size()),
+                                 timeout_ms);
+      if (n >= 0) return n;
+      if (errno != EINTR) return 0;
+    }
+  }
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace psmr::net

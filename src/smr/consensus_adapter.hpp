@@ -4,6 +4,13 @@
 // the atomic-broadcast sequence number, and hands the batch to the
 // replica's scheduler. This is the full paper pipeline (Figure 1(b)) over
 // an actual consensus protocol rather than the in-process LocalOrderer.
+//
+// The AtomicBroadcast reference is the transport seam: LocalBroadcast and
+// PaxosGroup plug in for in-process deployments, and a
+// consensus::RemoteBroadcastClient (socket_broadcast.hpp) plugs in when the
+// replica lives in its own OS process and the ordered stream arrives over
+// the socket transport. The adapter — and everything above it — is
+// identical in all three cases.
 #pragma once
 
 #include <functional>

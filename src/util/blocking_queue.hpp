@@ -1,10 +1,20 @@
 // Unbounded and bounded blocking queues (mutex + condition variable).
 //
-// These back the simulated network inboxes and any stage where blocking
-// semantics (wait-for-message, closed-channel shutdown) matter more than
-// raw throughput. `close()` wakes all waiters; pops on a closed, drained
-// queue return nullopt, which is the idiomatic shutdown signal throughout
-// psmr.
+// These back the simulated network inboxes, the socket transport's delivery
+// side, and any stage where blocking semantics (wait-for-message,
+// closed-channel shutdown) matter more than raw throughput. `close()` wakes
+// all waiters; pops on a closed, drained queue return nullopt, which is the
+// idiomatic shutdown signal throughout psmr.
+//
+// Closed-queue contract (relied on by transport send buffering, enforced by
+// [[nodiscard]] and the close-while-full stress suite in queues_test):
+//   * A false return from push()/try_push() ALWAYS means "not enqueued" —
+//     the element was not accepted and will never be popped; the blocking
+//     path is identical to try_push here, it never silently swallows the
+//     element it was woken with when close() won the race.
+//   * A true return means the element is in the queue and will be observed
+//     by exactly one pop — close() never discards queued elements, pops
+//     drain them even after close.
 #pragma once
 
 #include <chrono>
@@ -24,8 +34,11 @@ class BlockingQueue {
   explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
 
   /// Blocks while full (bounded mode). Returns false if the queue was
-  /// closed before the element could be accepted.
-  bool push(T value) {
+  /// closed before the element could be accepted — the element is NOT
+  /// enqueued in that case (even when close() arrives while this call is
+  /// blocked on a full queue), so the caller still owns delivering or
+  /// dropping it.
+  [[nodiscard]] bool push(T value) {
     std::unique_lock lk(mu_);
     not_full_.wait(lk, [&] { return closed_ || capacity_ == 0 || items_.size() < capacity_; });
     if (closed_) return false;
@@ -35,8 +48,8 @@ class BlockingQueue {
     return true;
   }
 
-  /// Non-blocking push; false when full or closed.
-  bool try_push(T value) {
+  /// Non-blocking push; false when full or closed (never enqueued then).
+  [[nodiscard]] bool try_push(T value) {
     {
       std::lock_guard lk(mu_);
       if (closed_) return false;

@@ -1,0 +1,275 @@
+// Loopback cluster over the socket transport: the consensus stack stays in
+// one "ordering" context (PaxosGroup or LocalBroadcast, unmodified), its
+// decided stream crosses transport connections through the broadcast relay,
+// and remote replicas — consensus adapter, replica, KV store, all unmodified
+// — converge on identical state. Exercises the PR-10 acceptance paths:
+// convergence with a simulated-net reference, and kill one replica →
+// reconnect → replay → the exactly-once dedup window answers duplicates.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "consensus/group.hpp"
+#include "consensus/socket_broadcast.hpp"
+#include "kvstore/kvstore.hpp"
+#include "net/socket_transport.hpp"
+#include "smr/consensus_adapter.hpp"
+#include "smr/replica.hpp"
+
+namespace psmr {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr net::ProcessId kRelayId = 1;
+
+smr::Command make_cmd(std::uint64_t key, std::uint64_t value,
+                      std::uint64_t client, std::uint64_t seq) {
+  smr::Command c;
+  c.type = smr::OpType::kUpdate;
+  c.key = key;
+  c.value = value;
+  c.client_id = client;
+  c.sequence = seq;
+  return c;
+}
+
+/// One replica in its own transport context: socket transport + remote
+/// broadcast client + consensus adapter + replica + KV store. Member order
+/// matters — the replica/adapter/client tear down before the transport.
+struct RemoteReplica {
+  std::unique_ptr<net::SocketTransport> transport;
+  std::unique_ptr<consensus::RemoteBroadcastClient> client;
+  std::unique_ptr<kv::KvStore> store;
+  std::unique_ptr<kv::KvService> service;
+  std::unique_ptr<smr::ConsensusAdapter> adapter;
+  std::unique_ptr<smr::Replica> replica;
+
+  RemoteReplica(net::ProcessId id, std::uint16_t relay_port,
+                std::uint16_t own_port = 0) {
+    net::SocketTransportConfig tcfg;
+    tcfg.peers[id] = net::SocketAddr{"127.0.0.1", own_port};
+    tcfg.peers[kRelayId] = net::SocketAddr{"127.0.0.1", relay_port};
+    transport = std::make_unique<net::SocketTransport>(tcfg);
+
+    consensus::RemoteClientConfig ccfg;
+    ccfg.process = id;
+    ccfg.server = kRelayId;
+    client = std::make_unique<consensus::RemoteBroadcastClient>(*transport, ccfg);
+
+    store = std::make_unique<kv::KvStore>();
+    service = std::make_unique<kv::KvService>(*store);
+    smr::BitmapConfig bitmap;
+    bitmap.bits = 102400;
+    adapter = std::make_unique<smr::ConsensusAdapter>(*client, bitmap);
+    smr::Replica::Config rcfg;
+    rcfg.replica_id = id;
+    rcfg.scheduler.workers = 2;
+    rcfg.scheduler.mode = core::ConflictMode::kKeysNested;
+    replica = std::make_unique<smr::Replica>(rcfg, *service,
+                                             [](const smr::Response&) {});
+    adapter->subscribe_replica(
+        [this](smr::BatchPtr b) { replica->deliver(std::move(b)); });
+  }
+
+  void start() {
+    client->start();
+    replica->start();
+  }
+
+  void kill() {
+    client->stop();
+    replica->stop();
+    transport->shutdown();
+  }
+
+  std::uint16_t port(net::ProcessId id) const { return transport->listen_port(id); }
+
+  std::uint64_t executed() const {
+    return replica->stats().counter("scheduler.commands_executed");
+  }
+};
+
+bool wait_executed(const RemoteReplica& r, std::uint64_t n,
+                   std::chrono::seconds budget = 30s) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (r.executed() >= n) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return r.executed() >= n;
+}
+
+void broadcast_batch(smr::ConsensusAdapter& adapter,
+                     const std::vector<smr::Command>& cmds) {
+  adapter.broadcast(std::make_unique<smr::Batch>(smr::Batch(cmds)));
+}
+
+TEST(SocketCluster, RemoteReplicasMatchSimulatedNetRun) {
+  // Ordering context: LocalBroadcast behind the relay.
+  net::SocketTransportConfig scfg;
+  scfg.peers[kRelayId] = {};
+  net::SocketTransport server_transport(scfg);
+  consensus::LocalBroadcast inner;
+  consensus::RelayServerConfig rcfg;
+  rcfg.process = kRelayId;
+  consensus::BroadcastRelayServer relay(server_transport, inner, rcfg);
+  relay.start();
+  const std::uint16_t relay_port = server_transport.listen_port(kRelayId);
+
+  RemoteReplica r2(2, relay_port);
+  RemoteReplica r3(3, relay_port);
+  server_transport.set_peer(2, net::SocketAddr{"127.0.0.1", r2.port(2)});
+  server_transport.set_peer(3, net::SocketAddr{"127.0.0.1", r3.port(3)});
+  r2.start();
+  r3.start();
+  inner.start();
+
+  // Simulated-net reference: the same batches through the plain in-process
+  // stack (LocalBroadcast + adapter + replica) must land on the same
+  // fingerprint.
+  consensus::LocalBroadcast ref_inner;
+  kv::KvStore ref_store;
+  kv::KvService ref_service(ref_store);
+  smr::BitmapConfig bitmap;
+  bitmap.bits = 102400;
+  smr::ConsensusAdapter ref_adapter(ref_inner, bitmap);
+  smr::Replica::Config ref_rcfg;
+  ref_rcfg.scheduler.workers = 2;
+  ref_rcfg.scheduler.mode = core::ConflictMode::kKeysNested;
+  smr::Replica ref_replica(ref_rcfg, ref_service, [](const smr::Response&) {});
+  ref_adapter.subscribe_replica(
+      [&](smr::BatchPtr b) { ref_replica.deliver(std::move(b)); });
+  ref_inner.start();
+  ref_replica.start();
+
+  constexpr std::uint64_t kBatches = 60;
+  constexpr std::uint64_t kPerBatch = 5;
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < kBatches; ++i) {
+    std::vector<smr::Command> cmds;
+    for (std::uint64_t j = 0; j < kPerBatch; ++j) {
+      ++seq;
+      cmds.push_back(make_cmd(/*key=*/seq, /*value=*/seq * 31 + 7,
+                              /*client=*/9, /*seq=*/seq));
+    }
+    broadcast_batch(*r2.adapter, cmds);  // through the socket relay
+    broadcast_batch(ref_adapter, cmds);  // through the in-process reference
+  }
+
+  const std::uint64_t total = kBatches * kPerBatch;
+  EXPECT_TRUE(wait_executed(r2, total));
+  EXPECT_TRUE(wait_executed(r3, total));
+  r2.replica->wait_idle();
+  r3.replica->wait_idle();
+  ref_replica.wait_idle();
+
+  EXPECT_EQ(r2.store->digest(), r3.store->digest());
+  EXPECT_EQ(r2.store->snapshot(), ref_store.snapshot());
+  EXPECT_EQ(r2.store->digest(), ref_store.digest());
+
+  ref_replica.stop();
+  ref_inner.stop();
+  r2.kill();
+  r3.kill();
+  relay.stop();
+  inner.stop();
+  server_transport.shutdown();
+}
+
+TEST(SocketCluster, KilledReplicaReconnectsAndDedupWindowAnswers) {
+  // The full acceptance path with REAL consensus behind the relay: the
+  // PaxosGroup (over its simulated network, completely unmodified) orders
+  // in the server context; remote replicas ride the socket transport. One
+  // replica is killed, the cluster makes progress without it, and a fresh
+  // replica on the same port re-subscribes from sequence 1, replays the
+  // retained log, converges — then a retransmitted duplicate batch is
+  // answered by the exactly-once session window instead of re-executing.
+  net::SocketTransportConfig scfg;
+  scfg.peers[kRelayId] = {};
+  net::SocketTransport server_transport(scfg);
+  consensus::GroupConfig gcfg;
+  consensus::PaxosGroup group(gcfg);
+  consensus::RelayServerConfig rcfg;
+  rcfg.process = kRelayId;
+  consensus::BroadcastRelayServer relay(server_transport, group, rcfg);
+  relay.start();  // subscribes before group.start(), per the contract
+  const std::uint16_t relay_port = server_transport.listen_port(kRelayId);
+
+  auto victim = std::make_unique<RemoteReplica>(2, relay_port);
+  RemoteReplica survivor(3, relay_port);
+  const std::uint16_t victim_port = victim->port(2);
+  server_transport.set_peer(2, net::SocketAddr{"127.0.0.1", victim_port});
+  server_transport.set_peer(3, net::SocketAddr{"127.0.0.1", survivor.port(3)});
+  victim->start();
+  survivor.start();
+  group.start();
+
+  auto broadcast_tracked = [&](std::uint64_t base_seq, std::uint64_t batches) {
+    for (std::uint64_t i = 0; i < batches; ++i) {
+      std::vector<smr::Command> cmds;
+      for (std::uint64_t j = 0; j < 3; ++j) {
+        const std::uint64_t seq = base_seq + i * 3 + j;
+        cmds.push_back(make_cmd(/*key=*/seq % 64, /*value=*/seq * 17 + 3,
+                                /*client=*/5, /*seq=*/seq));
+      }
+      broadcast_batch(*survivor.adapter, cmds);
+    }
+  };
+
+  broadcast_tracked(/*base_seq=*/1, /*batches=*/30);
+  ASSERT_TRUE(wait_executed(*victim, 90));
+  ASSERT_TRUE(wait_executed(survivor, 90));
+
+  // Kill one replica process: transport down, connections die.
+  victim->kill();
+  victim.reset();
+
+  // The cluster keeps going without it.
+  broadcast_tracked(/*base_seq=*/91, /*batches=*/10);
+  ASSERT_TRUE(wait_executed(survivor, 120));
+
+  // Rejoin on the SAME port with a fresh store, replaying from sequence 1.
+  // The relay retained the full decided log; SO_REUSEADDR makes the rebind
+  // immediate; the server's outbound reconnects under backoff.
+  auto rejoined = std::make_unique<RemoteReplica>(2, relay_port, victim_port);
+  rejoined->start();
+  ASSERT_TRUE(wait_executed(*rejoined, 120));
+  survivor.replica->wait_idle();
+  rejoined->replica->wait_idle();
+  EXPECT_EQ(rejoined->store->digest(), survivor.store->digest());
+  EXPECT_EQ(rejoined->store->snapshot(), survivor.store->snapshot());
+  EXPECT_GE(server_transport.stats().counter("transport.reconnects"), 1u);
+
+  // Retransmit an already-executed batch (same client, same sequences) —
+  // the proxy retry path's signature move. Both replicas must answer it
+  // from the session window without re-executing.
+  const std::uint64_t executed_before_dup = survivor.executed();
+  std::vector<smr::Command> dup;
+  for (std::uint64_t seq = 13; seq <= 15; ++seq) {
+    dup.push_back(make_cmd(seq % 64, seq * 17 + 3, 5, seq));
+  }
+  broadcast_batch(*survivor.adapter, dup);
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (survivor.replica->batches_deduped_at_delivery() == 0 ||
+          rejoined->replica->batches_deduped_at_delivery() == 0)) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GT(survivor.replica->batches_deduped_at_delivery(), 0u);
+  EXPECT_GT(rejoined->replica->batches_deduped_at_delivery(), 0u);
+  EXPECT_EQ(survivor.executed(), executed_before_dup);  // nothing re-ran
+  EXPECT_EQ(rejoined->store->digest(), survivor.store->digest());
+
+  rejoined->kill();
+  survivor.kill();
+  relay.stop();
+  group.stop();
+  server_transport.shutdown();
+}
+
+}  // namespace
+}  // namespace psmr

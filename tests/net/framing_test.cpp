@@ -1,0 +1,192 @@
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace psmr::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return std::vector<std::uint8_t>(s, s + std::strlen(s));
+}
+
+std::vector<std::uint8_t> framed(std::uint32_t from, std::uint32_t to,
+                                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, from, to, payload);
+  return out;
+}
+
+TEST(Framing, RoundTripsSingleFrame) {
+  FrameReader r;
+  const auto payload = bytes_of("hello framing");
+  ASSERT_TRUE(r.feed(framed(3, 7, payload)));
+  auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->from, 3u);
+  EXPECT_EQ(f->to, 7u);
+  EXPECT_EQ(f->payload, payload);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(Framing, RoundTripsEmptyPayload) {
+  FrameReader r;
+  ASSERT_TRUE(r.feed(framed(1, 2, {})));
+  auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->payload.empty());
+}
+
+TEST(Framing, ManyFramesInOneFeed) {
+  FrameReader r;
+  std::vector<std::uint8_t> wire;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    append_frame(wire, i, i + 1, bytes_of("payload"));
+  }
+  ASSERT_TRUE(r.feed(wire));
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    auto f = r.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->from, i);
+  }
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(Framing, FrameSplitAcrossByteAtATimeReads) {
+  // Worst-case short reads: one byte per feed. The frame must come out
+  // byte-identical, exactly once, only after the final byte.
+  FrameReader r;
+  const auto payload = bytes_of("split across reads");
+  const auto wire = framed(9, 4, payload);
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(r.feed({&wire[i], 1}));
+    EXPECT_FALSE(r.next().has_value()) << "emitted early at byte " << i;
+  }
+  ASSERT_TRUE(r.feed({&wire[wire.size() - 1], 1}));
+  auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload, payload);
+}
+
+TEST(Framing, TruncatedPrefixIsNotAnError) {
+  // A partial header / partial payload is just an incomplete read: the
+  // reader buffers and waits, it must NOT poison the stream.
+  const auto wire = framed(1, 2, bytes_of("truncate me"));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameReader r;
+    ASSERT_TRUE(r.feed({wire.data(), cut}));
+    EXPECT_FALSE(r.next().has_value());
+    EXPECT_FALSE(r.broken());
+    EXPECT_EQ(r.buffered(), cut);
+    // Feeding the rest completes the frame.
+    ASSERT_TRUE(r.feed({wire.data() + cut, wire.size() - cut}));
+    ASSERT_TRUE(r.next().has_value());
+  }
+}
+
+TEST(Framing, BadMagicPoisonsReader) {
+  auto wire = framed(1, 2, bytes_of("ok"));
+  wire[0] ^= 0xff;
+  FrameReader r;
+  EXPECT_FALSE(r.feed(wire));
+  EXPECT_TRUE(r.broken());
+  EXPECT_FALSE(r.next().has_value());
+  // Poisoned for good: even valid bytes are refused afterwards.
+  EXPECT_FALSE(r.feed(framed(1, 2, bytes_of("valid"))));
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(Framing, AbsurdDeclaredLengthPoisonsReader) {
+  // A corrupt length field must not trigger a giant allocation: anything
+  // above kMaxFramePayload is a protocol error, detected from the header
+  // alone (no payload bytes needed).
+  std::vector<std::uint8_t> wire(kFrameHeaderBytes);
+  const std::uint32_t from = 1, to = 2, len = kMaxFramePayload + 1;
+  std::memcpy(wire.data() + 0, &kFrameMagic, 4);
+  std::memcpy(wire.data() + 4, &from, 4);
+  std::memcpy(wire.data() + 8, &to, 4);
+  std::memcpy(wire.data() + 12, &len, 4);
+  FrameReader r;
+  EXPECT_FALSE(r.feed(wire));
+  EXPECT_TRUE(r.broken());
+}
+
+TEST(Framing, MaxLengthBoundaryIsAccepted) {
+  // Exactly kMaxFramePayload is legal — the ceiling is inclusive.
+  std::vector<std::uint8_t> payload(kMaxFramePayload, 0xab);
+  FrameReader r;
+  ASSERT_TRUE(r.feed(framed(1, 2, payload)));
+  auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload.size(), kMaxFramePayload);
+}
+
+TEST(Framing, GarbageAfterValidFrameIsDetected) {
+  // The reader consumes the valid frame, then hits the garbage header and
+  // poisons — the good frame is still retrievable.
+  auto wire = framed(5, 6, bytes_of("good"));
+  for (int i = 0; i < 32; ++i) wire.push_back(0xde);
+  FrameReader r;
+  EXPECT_FALSE(r.feed(wire));
+  auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload, bytes_of("good"));
+  EXPECT_TRUE(r.broken());
+}
+
+TEST(Framing, FuzzRandomChunkingRoundTripsByteIdentical) {
+  // Deterministic fuzz: random payload sizes (including empty and large),
+  // the whole wire image re-fed in random chunk sizes. Every frame must
+  // come out byte-identical, in order, with nothing invented or lost.
+  util::Xoshiro256 rng(0xF8A31);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<std::uint8_t> wire;
+    const int frames = 1 + static_cast<int>(rng.next_below(20));
+    for (int i = 0; i < frames; ++i) {
+      std::vector<std::uint8_t> p(rng.next_below(4096));
+      for (auto& byte : p) byte = static_cast<std::uint8_t>(rng.next_below(256));
+      append_frame(wire, static_cast<std::uint32_t>(i), 99, p);
+      payloads.push_back(std::move(p));
+    }
+    FrameReader r;
+    std::size_t pos = 0;
+    std::size_t got = 0;
+    while (pos < wire.size()) {
+      const std::size_t n =
+          std::min(wire.size() - pos, 1 + rng.next_below(1500));
+      ASSERT_TRUE(r.feed({wire.data() + pos, n}));
+      pos += n;
+      while (auto f = r.next()) {
+        ASSERT_LT(got, payloads.size());
+        EXPECT_EQ(f->from, got);
+        EXPECT_EQ(f->payload, payloads[got]);
+        ++got;
+      }
+    }
+    EXPECT_EQ(got, payloads.size());
+    EXPECT_FALSE(r.broken());
+  }
+}
+
+TEST(Framing, LongLivedStreamCompactsConsumedPrefix) {
+  // Feed far more than the 64 KiB compaction threshold through one reader;
+  // the internal buffer must not retain the dead consumed prefix.
+  FrameReader r;
+  std::vector<std::uint8_t> payload(1024, 0x5a);
+  for (int i = 0; i < 500; ++i) {  // ~520 KB total through the reader
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, 1, 2, payload);
+    ASSERT_TRUE(r.feed(wire));
+    ASSERT_TRUE(r.next().has_value());
+  }
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace psmr::net

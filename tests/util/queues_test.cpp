@@ -149,7 +149,7 @@ TEST(BlockingQueue, PopBlocksUntilPush) {
   BlockingQueue<int> q;
   std::thread t([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    q.push(42);
+    EXPECT_TRUE(q.push(42));
   });
   EXPECT_EQ(*q.pop(), 42);
   t.join();
@@ -167,8 +167,8 @@ TEST(BlockingQueue, CloseWakesBlockedPop) {
 
 TEST(BlockingQueue, CloseDrainsRemainingItems) {
   BlockingQueue<int> q;
-  q.push(1);
-  q.push(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
   q.close();
   EXPECT_FALSE(q.push(3));
   EXPECT_EQ(*q.pop(), 1);
@@ -182,7 +182,7 @@ TEST(BlockingQueue, BoundedBlocksProducer) {
   EXPECT_TRUE(q.push(2));
   std::atomic<bool> third_pushed{false};
   std::thread t([&] {
-    q.push(3);
+    EXPECT_TRUE(q.push(3));
     third_pushed.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -190,6 +190,49 @@ TEST(BlockingQueue, BoundedBlocksProducer) {
   EXPECT_EQ(*q.pop(), 1);
   t.join();
   EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BlockingQueue, CloseWhileFullNeverLosesOrInventsElements) {
+  // The closed-queue contract under its nastiest race: producers blocked on
+  // a FULL queue while close() slams the door. Every push that returned
+  // true must be popped exactly once; every push that returned false must
+  // never appear. Run many rounds with close() at varying offsets so both
+  // orders of the close-vs-blocked-push race are exercised.
+  constexpr int kRounds = 40;
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    BlockingQueue<int> q(2);
+    std::atomic<std::uint64_t> accepted_sum{0};
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int v = p * 1000 + i;
+          if (q.push(v)) {
+            accepted_sum.fetch_add(static_cast<std::uint64_t>(v));
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Let producers pile up against the tiny capacity, then close. Varying
+    // the delay moves the close point around the blocked-push window.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (round % 5)));
+    q.close();
+    // closed_ is set under the queue mutex, so every true-returning push
+    // happened-before close() returned: draining now sees all of them.
+    std::uint64_t popped_sum = 0;
+    int popped = 0;
+    while (auto v = q.pop()) {
+      popped_sum += static_cast<std::uint64_t>(*v);
+      ++popped;
+    }
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(popped, accepted.load()) << "round " << round;
+    EXPECT_EQ(popped_sum, accepted_sum.load()) << "round " << round;
+  }
 }
 
 TEST(BlockingQueue, PopForTimesOut) {
@@ -217,7 +260,7 @@ TEST(BlockingQueue, PopUntilDrainsAvailableItemEvenPastDeadline) {
   // The deadline gates WAITING, not draining: an item already queued is
   // returned even when the deadline has long passed.
   BlockingQueue<int> q;
-  q.push(7);
+  EXPECT_TRUE(q.push(7));
   const auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
   EXPECT_EQ(*q.pop_until(past), 7);
 }
@@ -226,7 +269,7 @@ TEST(BlockingQueue, PopUntilReturnsItemPushedBeforeDeadline) {
   BlockingQueue<int> q;
   std::thread t([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    q.push(42);
+    EXPECT_TRUE(q.push(42));
   });
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   EXPECT_EQ(*q.pop_until(deadline), 42);
@@ -241,7 +284,7 @@ TEST(BlockingQueue, PopUntilDeadlineIsAnchoredNotRestarted) {
   std::atomic<bool> stop{false};
   std::thread noise([&] {
     while (!stop.load()) {
-      q.push(1);
+      (void)q.push(1);
       // Steal it back so the victim's predicate flickers true->false.
       q.try_pop();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));

@@ -14,8 +14,9 @@ Checks, per file:
   * metric names follow the `component.metric` dotted scheme;
   * every `--require=NAME` metric is present in some section — so a
     fixture can assert that a specific export actually carries its
-    metric family (e.g. `early.*` for the early-scheduler run), not just
-    that the envelope parses.
+    metric family, not just that the envelope parses. NAME ending in
+    `.*` is a prefix glob: `--require=transport.*` passes when at least
+    one metric under that prefix is present.
 
 Exit status 0 when every file validates; 1 otherwise, with one line per
 problem on stderr. Stdlib only — runs anywhere CI has a python3.
@@ -89,7 +90,11 @@ def check_file(path, problems, required=()):
         if isinstance(doc.get(section), dict):
             present.update(doc[section])
     for name in required:
-        if name not in present:
+        if name.endswith(".*"):
+            prefix = name[:-1]  # keep the dot: "transport.*" -> "transport."
+            if not any(p.startswith(prefix) for p in present):
+                fail(path, f"no metric under required prefix {name!r} in the export", problems)
+        elif name not in present:
             fail(path, f"required metric {name!r} is absent from the export", problems)
 
 
